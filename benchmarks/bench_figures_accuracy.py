@@ -1,0 +1,107 @@
+"""Benchmarks regenerating the accuracy/robustness figures (1, 3, 4, 5, 8)."""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEEDS, run_once
+
+
+def test_fig1_label_cooccurrence(benchmark):
+    """Fig 1: co-occurrence components align with the generating clusters."""
+    report = run_once(benchmark, "fig1", seed=BENCH_SEEDS[0], scale=BENCH_SCALE)
+    assert report.data["n_components"] >= 2
+    assert report.data["component_purity"] > 0.6
+
+
+def test_fig3_sparsity_robustness(benchmark):
+    """Fig 3: accuracy decays with sparsity; CPA stays ahead of the
+    model-based baselines at every operating point."""
+    levels = (0.0, 0.3, 0.5, 0.7)
+    report = run_once(
+        benchmark,
+        "fig3",
+        seeds=BENCH_SEEDS,
+        scale=BENCH_SCALE,
+        sparsity_levels=levels,
+    )
+    series = report.data["series"]
+    # Monotone-ish decay for CPA (allow small non-monotonic noise).
+    cpa_prec = series["CPA"]["precision"]
+    assert cpa_prec[0] >= cpa_prec[-1]
+    # CPA ahead of EM and cBCC at every level on precision and recall.
+    for idx in range(len(levels)):
+        for baseline in ("EM", "cBCC"):
+            assert series["CPA"]["precision"][idx] >= series[baseline]["precision"][idx] - 0.05
+            assert series["CPA"]["recall"][idx] >= series[baseline]["recall"][idx] - 0.05
+    # Retention at 50%: CPA keeps more of its full-data precision than the
+    # model-based baselines (the paper's 86% vs <=78% observation).
+    retention = report.data["retention_at_50"]
+    assert retention["CPA"] >= retention["EM"] - 0.02
+    assert retention["CPA"] >= retention["cBCC"] - 0.02
+
+
+def test_fig4_spammer_robustness(benchmark):
+    """Fig 4: CPA retains more precision than cBCC under spam injection."""
+    report = run_once(
+        benchmark,
+        "fig4",
+        seeds=BENCH_SEEDS,
+        scale=BENCH_SCALE,
+        scenarios=("image", "aspect", "entity"),
+        spam_shares=(0.2, 0.4),
+    )
+    deltas = report.data["deltas"]
+    for share, per_dataset in deltas.items():
+        cpa_mean = sum(d["CPA"]["precision"] for d in per_dataset.values()) / len(per_dataset)
+        cbcc_mean = sum(d["cBCC"]["precision"] for d in per_dataset.values()) / len(per_dataset)
+        assert cpa_mean >= cbcc_mean - 0.03, (share, per_dataset)
+    # At the heavy share CPA precision stays nearly constant (paper: "stays
+    # nearly constant with our approach").
+    heavy = deltas[0.4]
+    cpa_mean = sum(d["CPA"]["precision"] for d in heavy.values()) / len(heavy)
+    assert cpa_mean > 0.8
+
+
+def test_fig5_label_dependency(benchmark):
+    """Fig 5: the per-label baseline loses more to ignored label
+    dependencies than CPA does (ratios further below 1)."""
+    report = run_once(
+        benchmark,
+        "fig5",
+        seeds=BENCH_SEEDS,
+        scale=BENCH_SCALE,
+        levels=(0.1, 0.2, 0.3),
+    )
+    series = report.data["series"]
+    top = -1  # heaviest injection level
+    for metric in ("precision", "recall"):
+        assert series["CPA"][metric][top] >= series["cBCC"][metric][top] - 0.02
+    # The baseline must show a real information-loss signal at 30%.
+    assert series["cBCC"]["recall"][top] < 0.97
+
+
+def test_fig8_model_ablation(benchmark):
+    """Fig 8: full CPA >= No Z on both metrics; No L is the weakest on
+    recall (no co-occurrence completion)."""
+    report = run_once(
+        benchmark,
+        "fig8",
+        seeds=BENCH_SEEDS,
+        scale=BENCH_SCALE,
+        scenarios=("image", "entity", "movie"),
+        no_l_scenarios=("movie",),
+    )
+    results = report.data["results"]
+
+    def f1(scores):
+        p, r = scores["precision"], scores["recall"]
+        return 0.0 if p + r == 0 else 2 * p * r / (p + r)
+
+    for dataset, methods in results.items():
+        # In this implementation the community structure's benefit shows up
+        # primarily as recall/stability (EXPERIMENTS.md, Fig 8): CPA must
+        # dominate No Z on recall and on F1; precision stays comparable.
+        assert methods["CPA"]["recall"] >= methods["NoZ"]["recall"] - 0.03, dataset
+        assert f1(methods["CPA"]) >= f1(methods["NoZ"]) - 0.02, dataset
+        assert methods["CPA"]["precision"] >= methods["NoZ"]["precision"] - 0.07, dataset
+    movie = results["movie"]
+    assert movie["CPA"]["recall"] > movie["NoL"]["recall"]
+    # Removing communities costs recall on the correlated datasets.
+    assert results["entity"]["CPA"]["recall"] > results["entity"]["NoZ"]["recall"]

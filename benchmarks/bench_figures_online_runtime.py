@@ -1,0 +1,79 @@
+"""Benchmarks regenerating the online-learning and scalability figures
+(6, 7, 9, 10)."""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEEDS, run_once
+
+
+def test_fig6_data_arrival(benchmark):
+    """Fig 6: both curves improve with arrival; online tracks offline with
+    a modest final gap."""
+    report = run_once(
+        benchmark,
+        "fig6",
+        seeds=BENCH_SEEDS[:1],
+        scale=max(BENCH_SCALE, 0.8),
+        fractions=(0.2, 0.4, 0.6, 0.8, 1.0),
+    )
+    curves = report.data["curves"]
+    for key in ("online_precision", "offline_precision"):
+        assert curves[key][-1] > curves[key][0]  # learning happens
+    final_gap = curves["offline_precision"][-1] - curves["online_precision"][-1]
+    assert final_gap < 0.15  # modest reduction, not a collapse
+    assert curves["online_precision"][-1] > 0.6
+
+
+def test_fig7_runtime_scaling(benchmark):
+    """Fig 7: online inference is much cheaper than offline; MV cheapest;
+    runtimes grow with the answer volume."""
+    report = run_once(
+        benchmark,
+        "fig7",
+        answers_per_item_levels=(5, 10, 20),
+        n_items=800,
+        n_workers=200,
+        n_labels=10,
+        parallel_degrees=(2,),
+        answers_per_batch=800,
+    )
+    runtimes = report.data["runtimes"]
+    volumes = report.data["volumes"]
+    assert volumes == sorted(volumes)
+    last = len(volumes) - 1
+    # Online beats offline clearly (paper: up to 32x at their scale).
+    assert report.data["online_speedup"] > 3.0
+    # MV is the cheapest method at the largest volume.
+    assert runtimes["MV"][last] == min(r[last] for r in runtimes.values())
+    # Offline cost grows with volume.
+    assert runtimes["offline"][last] > runtimes["offline"][0]
+
+
+def test_fig9_worker_communities(benchmark):
+    """Fig 9: multiple communities per label; structure differs across
+    datasets; CPA infers several communities."""
+    report = run_once(benchmark, "fig9", seed=BENCH_SEEDS[0], scale=BENCH_SCALE)
+    for scenario, info in report.data.items():
+        assert max(info["blob_counts"].values()) >= 2, scenario
+        assert info["n_inferred_communities"] >= 3, scenario
+
+
+def test_fig10_worker_types(benchmark):
+    """Fig 10: the simulated worker types land in the appendix's layout."""
+    report = run_once(benchmark, "fig10", seed=BENCH_SEEDS[0], scale=BENCH_SCALE)
+    realised = {
+        worker_type: points for worker_type, points in report.data["realised"].items()
+    }
+
+    def mean_sens(worker_type):
+        points = realised[worker_type]
+        return sum(p[0] for p in points) / len(points)
+
+    def mean_spec(worker_type):
+        points = realised[worker_type]
+        return sum(p[1] for p in points) / len(points)
+
+    assert mean_sens("reliable") > mean_sens("normal") > mean_sens("sloppy")
+    assert mean_sens("reliable") > 0.6
+    # Spammers separate from honest workers: low sensitivity, and random
+    # spammers sit near the anti-diagonal.
+    assert mean_sens("random_spammer") < mean_sens("sloppy")
+    assert mean_spec("uniform_spammer") > 0.8

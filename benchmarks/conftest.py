@@ -1,0 +1,47 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table/figure of the paper (see DESIGN.md §5)
+via its experiment module, asserts the *qualitative shape* the paper
+reports, and records the wall-clock cost through pytest-benchmark.  Each
+experiment runs exactly once per benchmark (``pedantic`` with one round) —
+these are reproduction runs, not micro-benchmarks.
+
+Set ``REPRO_BENCH_SCALE`` (default 0.6) to trade fidelity for speed, and
+``REPRO_BENCH_SEEDS`` (default "0,1") to widen the averaging.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import pytest
+
+from repro.errors import ConvergenceWarning
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+BENCH_SEEDS = tuple(
+    int(s) for s in os.environ.get("REPRO_BENCH_SEEDS", "0,1").split(",")
+)
+
+
+@pytest.fixture(autouse=True)
+def _silence_convergence_warnings():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        yield
+
+
+def run_once(benchmark, experiment_id: str, **kwargs):
+    """Run one experiment exactly once under the benchmark timer."""
+    from repro.experiments import run_experiment
+
+    report = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, **kwargs),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(report.rendered())
+    return report

@@ -1,0 +1,74 @@
+"""Auditing a crowd: detecting spammer communities with CPA (paper §5.5).
+
+Fits CPA on the entity-extraction scenario and uses the inferred worker
+communities plus the consensus reliability weights to flag suspicious
+workers — the worker-management use case behind requirement R1.  Since
+the scenario carries provenance (the true archetype of every simulated
+worker), the audit's precision can be verified directly.
+
+Run:  python examples/spammer_audit.py
+"""
+
+import numpy as np
+
+from repro import CPAModel, make_scenario
+from repro.core.diagnostics import community_summaries, worker_operating_points
+
+
+def main() -> None:
+    dataset = make_scenario("entity", seed=5)
+    print(dataset, "\n")
+
+    model = CPAModel().fit(dataset)
+    state = model.state_
+    consensus = model.consensus_
+
+    # --- community-level audit --------------------------------------------
+    print("Inferred communities (size, operating point, dominant true type):")
+    summaries = community_summaries(state, dataset)
+    for summary in sorted(summaries, key=lambda s: -s.size)[:8]:
+        weight = consensus.community_weights[summary.community]
+        print(
+            f"  community {summary.community:2d}: size={summary.size:5.1f} "
+            f"sens={summary.mean_sensitivity:.2f} spec={summary.mean_specificity:.2f} "
+            f"reliability-weight={weight:6.2f} type={summary.dominant_type}"
+        )
+
+    # --- flag workers in low-reliability communities -----------------------
+    weights = consensus.community_weights
+    threshold = np.percentile(weights[weights > 0], 50)
+    communities = model.worker_communities()
+    flagged = [
+        worker
+        for worker in dataset.answers.active_workers()
+        if weights[communities[worker]] < threshold
+    ]
+
+    assert dataset.worker_types is not None
+    spammer_types = {"uniform_spammer", "random_spammer"}
+    true_spammers = {
+        worker
+        for worker in dataset.answers.active_workers()
+        if dataset.worker_types[worker] in spammer_types
+    }
+    caught = sum(1 for worker in flagged if worker in true_spammers)
+    print(
+        f"\nFlagged {len(flagged)} workers below the median reliability weight; "
+        f"{caught} of the {len(true_spammers)} true spammers are among them "
+        f"(audit recall {caught / max(len(true_spammers), 1):.0%})."
+    )
+
+    # --- per-label view (Fig 9 style) --------------------------------------
+    busiest = int(np.argmax(dataset.answers.label_counts()))
+    points = worker_operating_points(dataset, labels=[busiest], min_support=2)
+    low = [p for p in points if p.sensitivity < 0.4]
+    print(
+        f"\nFor the busiest label ({dataset.label_name(busiest)}): "
+        f"{len(points)} workers have measurable operating points, "
+        f"{len(low)} of them sit below 0.4 sensitivity — the kind of "
+        "per-label community structure Fig 9 visualises."
+    )
+
+
+if __name__ == "__main__":
+    main()

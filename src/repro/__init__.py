@@ -1,0 +1,58 @@
+"""repro — a full reproduction of *Computing Crowd Consensus with Partial
+Agreement* (Nguyen Quoc Viet Hung et al., ICDE 2018).
+
+The package implements the paper's CPA model (Bayesian nonparametric
+partial-agreement answer aggregation with worker communities and item
+clusters), its batch/stochastic/parallel inference, the MV / EM / cBCC
+baselines, a crowd-simulation substrate, and one experiment module per
+table and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import CPAModel, make_scenario, evaluate_predictions
+
+    dataset = make_scenario("image", seed=7)
+    model = CPAModel().fit(dataset)
+    predictions = model.predict()
+    print(evaluate_predictions(predictions, dataset.truth))
+"""
+
+from repro.baselines import (
+    Aggregator,
+    BCCAggregator,
+    CommunityBCCAggregator,
+    CPAAggregator,
+    DawidSkeneAggregator,
+    IpeirotisAggregator,
+    MajorityVoteAggregator,
+    NoClustersAggregator,
+    NoCommunitiesAggregator,
+)
+from repro.core import CPAConfig, CPAModel
+from repro.data import AnswerMatrix, CrowdDataset, GroundTruth
+from repro.evaluation import evaluate_predictions
+from repro.simulation import SimulationConfig, generate_dataset, make_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregator",
+    "AnswerMatrix",
+    "BCCAggregator",
+    "CommunityBCCAggregator",
+    "CPAAggregator",
+    "CPAConfig",
+    "CPAModel",
+    "CrowdDataset",
+    "DawidSkeneAggregator",
+    "GroundTruth",
+    "IpeirotisAggregator",
+    "MajorityVoteAggregator",
+    "NoClustersAggregator",
+    "NoCommunitiesAggregator",
+    "SimulationConfig",
+    "evaluate_predictions",
+    "generate_dataset",
+    "make_scenario",
+    "__version__",
+]

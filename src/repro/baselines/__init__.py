@@ -1,0 +1,56 @@
+"""Baseline aggregators and ablations (paper §5.1 "Baselines" and §5.4).
+
+All baselines are *single-label* methods lifted to the multi-label setting
+through per-label binary decomposition, exactly as the paper evaluates
+them: "we regard the multi-label problem as several instances of a
+single-label problem … each item is assigned with a probability of
+accepting or rejecting a given label; if this probability is larger than
+0.5, the respective label is included".
+
+* :class:`MajorityVoteAggregator` — MV [17, 18];
+* :class:`DawidSkeneAggregator` — EM on per-worker confusion matrices [40];
+* :class:`IpeirotisAggregator` — the quality-management refinement [15]
+  (cost-based spammer elimination before re-running EM);
+* :class:`BCCAggregator` — Bayesian Classifier Combination [51];
+* :class:`CommunityBCCAggregator` — community-based BCC [24, 25];
+* :class:`CPAAggregator` — the paper's model behind the common interface;
+* :class:`NoCommunitiesAggregator` / :class:`NoClustersAggregator` — the
+  §5.4 `No Z` / `No L` ablations.
+"""
+
+from repro.baselines.ablations import (
+    CPAAggregator,
+    NoClustersAggregator,
+    NoCommunitiesAggregator,
+)
+from repro.baselines.base import Aggregator, PredictionMap
+from repro.baselines.bcc import BCCAggregator
+from repro.baselines.cbcc import CommunityBCCAggregator
+from repro.baselines.dawid_skene import DawidSkeneAggregator
+from repro.baselines.decomposition import BinaryLabelView, binary_label_views
+from repro.baselines.ipeirotis import IpeirotisAggregator
+from repro.baselines.majority import MajorityVoteAggregator
+
+__all__ = [
+    "Aggregator",
+    "PredictionMap",
+    "BinaryLabelView",
+    "binary_label_views",
+    "MajorityVoteAggregator",
+    "DawidSkeneAggregator",
+    "IpeirotisAggregator",
+    "BCCAggregator",
+    "CommunityBCCAggregator",
+    "CPAAggregator",
+    "NoCommunitiesAggregator",
+    "NoClustersAggregator",
+]
+
+
+def default_baselines() -> list[Aggregator]:
+    """The paper's Table-4 baseline line-up: MV, EM, cBCC."""
+    return [
+        MajorityVoteAggregator(),
+        DawidSkeneAggregator(),
+        CommunityBCCAggregator(),
+    ]

@@ -1,0 +1,36 @@
+"""The common aggregator interface.
+
+Every answer-aggregation method — the CPA model, the baselines, and the
+ablations — implements :class:`Aggregator`: it consumes a
+:class:`~repro.data.dataset.CrowdDataset` (the ground truth is *never*
+consulted; it rides along only for evaluation) and returns the
+deterministic assignment ``d : I → 2^Z`` of paper Problem 1 as a mapping
+from item index to predicted label set.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet
+
+from repro.data.dataset import CrowdDataset
+
+PredictionMap = Dict[int, FrozenSet[int]]
+
+
+class Aggregator(abc.ABC):
+    """Abstract partial-agreement answer aggregator."""
+
+    #: short identifier used in experiment tables (e.g. ``"MV"``).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def aggregate(self, dataset: CrowdDataset) -> PredictionMap:
+        """Predict a label set for every item that received answers.
+
+        Implementations must not read ``dataset.truth`` (the evaluation
+        protocol of paper §5.1 is fully unsupervised, ``y = ∅``).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

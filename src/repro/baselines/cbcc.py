@@ -1,0 +1,192 @@
+"""Community-based Bayesian Classifier Combination (refs [24], [25]).
+
+cBCC extends BCC by pooling workers into *communities* that share a
+confusion matrix, which stabilises worker-quality estimates under sparsity
+— the strongest baseline in the paper's evaluation.  We implement the
+binary per-label form as a mean-field scheme with three factor groups:
+
+* worker community responsibilities ``r_uk`` (categorical over K
+  communities with a Dirichlet prior on the mixing weights);
+* community confusion Beta posteriors (sensitivity/specificity per
+  community);
+* item truth posteriors ``µ_i``.
+
+As in the paper's evaluation, each label is an independent instance — a
+worker may land in different communities for different labels, but no
+information flows between labels (the limitation CPA removes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import digamma
+
+from repro.baselines.base import Aggregator, PredictionMap
+from repro.baselines.decomposition import (
+    BinaryLabelView,
+    assemble_predictions,
+    binary_label_views,
+)
+from repro.data.dataset import CrowdDataset
+from repro.errors import ValidationError
+from repro.utils.math import clip_probability, log_normalize_rows
+from repro.utils.random import RandomState, Seed
+
+
+@dataclass
+class CBCCResult:
+    """Fitted binary cBCC posterior for one label."""
+
+    posterior: np.ndarray  # (I,) P(true = 1)
+    responsibilities: np.ndarray  # (U, K)
+    community_sensitivity: np.ndarray  # (K,)
+    community_specificity: np.ndarray  # (K,)
+    n_iterations: int
+    converged: bool
+
+
+def _beta_e_log(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    total = digamma(a + b)
+    return digamma(a) - total, digamma(b) - total
+
+
+def fit_binary_cbcc(
+    view: BinaryLabelView,
+    *,
+    n_communities: int = 5,
+    prior_correct: float = 2.0,
+    prior_wrong: float = 1.0,
+    prior_mixing: float = 1.0,
+    max_iterations: int = 60,
+    tolerance: float = 1e-4,
+    seed: Seed = 0,
+) -> CBCCResult:
+    """Mean-field cBCC for one binary label view.
+
+    Community count is fixed (the original cBCC design; the paper contrasts
+    this with CPA's nonparametric adaptivity).  Responsibilities are
+    initialised by jittered random assignment to break symmetry.
+    """
+    if n_communities <= 0:
+        raise ValidationError("n_communities must be positive")
+    rng = RandomState(seed)
+    items, workers, votes = view.items, view.workers, view.votes
+    n_items, n_workers = view.n_items, view.n_workers
+    k = n_communities
+
+    pos = np.zeros(n_items)
+    tot = np.zeros(n_items)
+    np.add.at(pos, items, votes)
+    np.add.at(tot, items, 1.0)
+    mu = np.divide(pos, tot, out=np.full(n_items, 0.5), where=tot > 0)
+    mu = clip_probability(mu, 1e-3)
+
+    resp = log_normalize_rows(rng.random((n_workers, k)))
+
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        mu_n = mu[items]
+        resp_n = resp[workers]  # (N, K)
+
+        # --- community confusion posteriors -------------------------------
+        tp = resp_n.T @ (mu_n * votes)  # (K,)
+        pos_mass = resp_n.T @ mu_n
+        tn = resp_n.T @ ((1 - mu_n) * (1 - votes))
+        neg_mass = resp_n.T @ (1 - mu_n)
+        sens_a, sens_b = prior_correct + tp, prior_wrong + (pos_mass - tp)
+        spec_a, spec_b = prior_correct + tn, prior_wrong + (neg_mass - tn)
+        mix_counts = prior_mixing + resp.sum(axis=0)
+
+        e_log_s, e_log_1ms = _beta_e_log(sens_a, sens_b)
+        e_log_q, e_log_1mq = _beta_e_log(spec_a, spec_b)
+        e_log_mix = digamma(mix_counts) - digamma(mix_counts.sum())
+
+        # --- worker responsibilities --------------------------------------
+        # log P(answer n | community k) under the current truth posterior.
+        answer_ll = (
+            mu_n[:, None] * (votes[:, None] * e_log_s + (1 - votes[:, None]) * e_log_1ms)
+            + (1 - mu_n[:, None])
+            * (votes[:, None] * e_log_1mq + (1 - votes[:, None]) * e_log_q)
+        )  # (N, K)
+        scores = np.tile(e_log_mix, (n_workers, 1))
+        np.add.at(scores, workers, answer_ll)
+        resp = log_normalize_rows(scores)
+
+        # --- item truth posteriors -----------------------------------------
+        resp_n = resp[workers]
+        like_pos = resp_n @ e_log_s * votes + resp_n @ e_log_1ms * (1 - votes)
+        like_neg = resp_n @ e_log_1mq * votes + resp_n @ e_log_q * (1 - votes)
+        prev = float(np.clip(mu.mean(), 1e-3, 1 - 1e-3))
+        score_pos = np.full(n_items, np.log(prev))
+        score_neg = np.full(n_items, np.log(1 - prev))
+        np.add.at(score_pos, items, like_pos)
+        np.add.at(score_neg, items, like_neg)
+        shift = np.maximum(score_pos, score_neg)
+        exp_pos = np.exp(score_pos - shift)
+        exp_neg = np.exp(score_neg - shift)
+        new_mu = exp_pos / (exp_pos + exp_neg)
+
+        delta = float(np.max(np.abs(new_mu - mu)))
+        mu = new_mu
+        if delta < tolerance:
+            converged = True
+            break
+
+    return CBCCResult(
+        posterior=mu,
+        responsibilities=resp,
+        community_sensitivity=sens_a / (sens_a + sens_b),
+        community_specificity=spec_a / (spec_a + spec_b),
+        n_iterations=iteration,
+        converged=converged,
+    )
+
+
+class CommunityBCCAggregator(Aggregator):
+    """Per-label community-based BCC (the paper's strongest baseline)."""
+
+    name = "cBCC"
+
+    def __init__(
+        self,
+        n_communities: int = 5,
+        prior_correct: float = 2.0,
+        prior_wrong: float = 1.0,
+        max_iterations: int = 60,
+        tolerance: float = 1e-4,
+        threshold: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if n_communities <= 0:
+            raise ValidationError("n_communities must be positive")
+        self.n_communities = n_communities
+        self.prior_correct = prior_correct
+        self.prior_wrong = prior_wrong
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.threshold = threshold
+        self.seed = seed
+
+    def label_posteriors(self, dataset: CrowdDataset) -> np.ndarray:
+        """``(I, C)`` per-label acceptance posteriors."""
+        matrix = dataset.answers
+        posteriors = np.zeros((matrix.n_items, matrix.n_labels))
+        for view in binary_label_views(matrix):
+            result = fit_binary_cbcc(
+                view,
+                n_communities=self.n_communities,
+                prior_correct=self.prior_correct,
+                prior_wrong=self.prior_wrong,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                seed=self.seed + view.label,
+            )
+            posteriors[:, view.label] = result.posterior
+        return posteriors
+
+    def aggregate(self, dataset: CrowdDataset) -> PredictionMap:
+        posteriors = self.label_posteriors(dataset)
+        return assemble_predictions(posteriors, dataset.answers, self.threshold)

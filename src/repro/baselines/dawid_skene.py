@@ -1,0 +1,170 @@
+"""Dawid–Skene EM answer aggregation (paper's "EM" baseline; ref [40]).
+
+The classic maximum-likelihood estimator of observer error rates, run on
+each label's binary decomposition.  Per label, every worker ``u`` carries a
+2×2 confusion matrix summarised by sensitivity ``s_u = P(vote 1 | true 1)``
+and specificity ``q_u = P(vote 0 | true 0)``; the label prevalence is
+``p``.  EM alternates:
+
+* **E-step** — posterior ``µ_i = P(true_i = 1 | votes)`` from the current
+  worker parameters;
+* **M-step** — maximum-likelihood ``s_u, q_u, p`` from the posteriors,
+  with Laplace smoothing so single-vote workers stay well-defined.
+
+Initialisation follows the standard practice of seeding the posteriors
+with majority-vote ratios, which is also what makes the method "error
+prone to user-chosen initialization" (paper §6) — a behaviour our
+robustness experiments inherit faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import Aggregator, PredictionMap
+from repro.baselines.decomposition import (
+    BinaryLabelView,
+    assemble_predictions,
+    binary_label_views,
+)
+from repro.data.dataset import CrowdDataset
+from repro.errors import ValidationError
+from repro.utils.math import clip_probability
+
+
+@dataclass
+class DawidSkeneResult:
+    """Fitted per-label binary DS model."""
+
+    posterior: np.ndarray  # (I,) P(true = 1)
+    sensitivity: np.ndarray  # (U,)
+    specificity: np.ndarray  # (U,)
+    prevalence: float
+    n_iterations: int
+    converged: bool
+
+
+def fit_binary_dawid_skene(
+    view: BinaryLabelView,
+    *,
+    max_iterations: int = 50,
+    tolerance: float = 1e-4,
+    smoothing: float = 0.5,
+    worker_weights: Optional[np.ndarray] = None,
+) -> DawidSkeneResult:
+    """EM for one binary label view.
+
+    ``worker_weights`` (0/1 or soft) exclude or down-weight workers — the
+    hook used by the Ipeirotis spammer-elimination refinement.  Items
+    without answers keep a posterior equal to the prevalence.
+    """
+    items, workers, votes = view.items, view.workers, view.votes
+    n_items, n_workers = view.n_items, view.n_workers
+    weights = (
+        np.ones(items.size)
+        if worker_weights is None
+        else np.asarray(worker_weights, dtype=float)[workers]
+    )
+
+    # Majority-vote initialisation of the posteriors.
+    pos = np.zeros(n_items)
+    tot = np.zeros(n_items)
+    np.add.at(pos, items, votes * weights)
+    np.add.at(tot, items, weights)
+    mu = np.divide(pos, tot, out=np.full(n_items, 0.5), where=tot > 0)
+    mu = clip_probability(mu, 1e-3)
+
+    sensitivity = np.full(n_workers, 0.7)
+    specificity = np.full(n_workers, 0.7)
+    prevalence = float(np.clip(mu.mean(), 1e-3, 1 - 1e-3))
+
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        # ---- M-step -----------------------------------------------------
+        mu_n = mu[items]
+        tp = np.zeros(n_workers)
+        pos_mass = np.zeros(n_workers)
+        tn = np.zeros(n_workers)
+        neg_mass = np.zeros(n_workers)
+        np.add.at(tp, workers, weights * mu_n * votes)
+        np.add.at(pos_mass, workers, weights * mu_n)
+        np.add.at(tn, workers, weights * (1 - mu_n) * (1 - votes))
+        np.add.at(neg_mass, workers, weights * (1 - mu_n))
+        sensitivity = (tp + smoothing) / (pos_mass + 2 * smoothing)
+        specificity = (tn + smoothing) / (neg_mass + 2 * smoothing)
+        prevalence = float(np.clip(mu.mean(), 1e-3, 1 - 1e-3))
+
+        # ---- E-step -----------------------------------------------------
+        s = clip_probability(sensitivity[workers], 1e-4)
+        q = clip_probability(specificity[workers], 1e-4)
+        log_like_pos = weights * (votes * np.log(s) + (1 - votes) * np.log(1 - s))
+        log_like_neg = weights * (votes * np.log(1 - q) + (1 - votes) * np.log(q))
+        score_pos = np.full(n_items, np.log(prevalence))
+        score_neg = np.full(n_items, np.log(1 - prevalence))
+        np.add.at(score_pos, items, log_like_pos)
+        np.add.at(score_neg, items, log_like_neg)
+        shift = np.maximum(score_pos, score_neg)
+        exp_pos = np.exp(score_pos - shift)
+        exp_neg = np.exp(score_neg - shift)
+        new_mu = exp_pos / (exp_pos + exp_neg)
+
+        delta = float(np.max(np.abs(new_mu - mu)))
+        mu = new_mu
+        if delta < tolerance:
+            converged = True
+            break
+
+    return DawidSkeneResult(
+        posterior=mu,
+        sensitivity=sensitivity,
+        specificity=specificity,
+        prevalence=prevalence,
+        n_iterations=iteration,
+        converged=converged,
+    )
+
+
+class DawidSkeneAggregator(Aggregator):
+    """Per-label Dawid–Skene EM (the paper's "EM" baseline)."""
+
+    name = "EM"
+
+    def __init__(
+        self,
+        max_iterations: int = 50,
+        tolerance: float = 1e-4,
+        smoothing: float = 0.5,
+        threshold: float = 0.5,
+    ) -> None:
+        if max_iterations <= 0:
+            raise ValidationError("max_iterations must be positive")
+        if tolerance <= 0:
+            raise ValidationError("tolerance must be positive")
+        if smoothing < 0:
+            raise ValidationError("smoothing must be non-negative")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+        self.threshold = threshold
+
+    def label_posteriors(self, dataset: CrowdDataset) -> np.ndarray:
+        """``(I, C)`` per-label acceptance posteriors."""
+        matrix = dataset.answers
+        posteriors = np.zeros((matrix.n_items, matrix.n_labels))
+        for view in binary_label_views(matrix):
+            result = fit_binary_dawid_skene(
+                view,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                smoothing=self.smoothing,
+            )
+            posteriors[:, view.label] = result.posterior
+        return posteriors
+
+    def aggregate(self, dataset: CrowdDataset) -> PredictionMap:
+        posteriors = self.label_posteriors(dataset)
+        return assemble_predictions(posteriors, dataset.answers, self.threshold)

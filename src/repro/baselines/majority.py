@@ -1,0 +1,46 @@
+"""Majority voting (paper §5.1 baseline; refs [17], [18]).
+
+"The probability to accept a label for an item is computed as the ratio of
+'votes' from workers who provided an answer for an item" — note the
+denominator is the number of workers who answered the *item*, not the
+number who mentioned the label, so unmentioned labels count as negative
+votes (the information loss of per-label decomposition)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Aggregator, PredictionMap
+from repro.baselines.decomposition import assemble_predictions
+from repro.data.dataset import CrowdDataset
+from repro.errors import ValidationError
+
+
+class MajorityVoteAggregator(Aggregator):
+    """Per-label majority voting with a configurable acceptance threshold."""
+
+    name = "MV"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0.0 <= threshold < 1.0:
+            raise ValidationError("threshold must lie in [0, 1)")
+        self.threshold = threshold
+
+    def vote_ratios(self, dataset: CrowdDataset) -> np.ndarray:
+        """``(I, C)`` matrix of per-item label vote ratios."""
+        matrix = dataset.answers
+        items, _, indicators = matrix.to_arrays()
+        votes = np.zeros((matrix.n_items, matrix.n_labels))
+        np.add.at(votes, items, indicators)
+        answered = np.zeros(matrix.n_items)
+        np.add.at(answered, items, 1.0)
+        return np.divide(
+            votes,
+            answered[:, None],
+            out=np.zeros_like(votes),
+            where=answered[:, None] > 0,
+        )
+
+    def aggregate(self, dataset: CrowdDataset) -> PredictionMap:
+        ratios = self.vote_ratios(dataset)
+        return assemble_predictions(ratios, dataset.answers, self.threshold)

@@ -1,0 +1,149 @@
+"""Hyperparameters of the CPA model and its inference procedures.
+
+The paper sets the stick-breaking truncations "safely … to large values,
+e.g., 1000" (§3.2); at our dataset scales a few dozen components suffice
+and keep runtime proportionate, so the defaults below adapt to dataset size
+via :meth:`CPAConfig.resolve_truncations`.  All symbols follow Table 2 of
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class CPAConfig:
+    """Configuration for :class:`repro.core.model.CPAModel`.
+
+    Attributes
+    ----------
+    truncation_communities:
+        Truncation level ``M`` for worker communities (0 = auto: scales
+        with the number of workers, capped at ``max_truncation``).
+    truncation_clusters:
+        Truncation level ``T`` for item clusters (0 = auto).
+    alpha:
+        CRP concentration for worker communities (paper ``α``).
+    epsilon:
+        CRP concentration for item clusters (paper ``ε``).
+    gamma0:
+        Symmetric Dirichlet prior on community answer profiles ``ψ_tm``.
+    eta0:
+        Symmetric Beta/Dirichlet prior on cluster label profiles ``φ_t``.
+    max_iterations / tolerance:
+        VI stopping rule: stop when the largest absolute change of any
+        local responsibility falls below ``tolerance`` (the paper's
+        "parameter differences below 1e-3"), or at the iteration cap.
+    forgetting_rate:
+        SVI forgetting rate ``r`` in ``ω_b = (1 + b)^-r``; the paper finds
+        values in [0.85, 0.9] work best (§4.1).
+    svi_iterations:
+        Local (κ) refinement sweeps per SVI batch.
+    svi_coverage_correction:
+        When true (default), each component's SVI step is scaled by how
+        much of that component's mass the batch actually observed.  The
+        plain Eqs. 18-20 step decays every cluster/community absent from
+        the current batch towards its prior, starving components under
+        partial-coverage batches (a known failure mode of truncated-DP
+        SVI); the correction is the standard importance-weighting fix for
+        non-uniform subsampling and is documented as a deviation in
+        DESIGN.md.
+    svi_batch_answers:
+        Engine-level SVI batch size in answers (the paper uses 100,
+        §5.3): arrival batches handed to :meth:`CPAModel.partial_fit` are
+        split into sub-batches of at most this many answers so the
+        Robbins-Monro averaging sees enough steps even when data arrives
+        in large increments.
+    consensus_floor:
+        Discriminability floor ``δ`` keeping community weights positive.
+    consensus_smoothing:
+        Pseudo-count used when converting cell counts to inclusion rates.
+    consensus_blend:
+        Pseudo-mass ``ν`` balancing the unsupervised consensus against the
+        supervised (observed ground truth) estimate.
+    use_item_evidence:
+        When true (default), prediction augments the cluster-consensus
+        prior with a per-item likelihood term built from community-level
+        answering rates (DESIGN.md §4.3's evidence-augmented
+        instantiation); setting it false recovers the paper's literal
+        Appendix-D objective.
+    evidence_weight:
+        Multiplier on the per-item evidence term (1 = full Bayes update).
+    max_predicted_labels:
+        Hard cap on greedy label-set growth (0 = no cap beyond ``C``).
+    exhaustive_label_limit:
+        Maximum ``C`` for which exhaustive ``2^C`` MAP search is permitted.
+    seed:
+        Seed for the random initialisation of the variational state.
+    """
+
+    truncation_communities: int = 0
+    truncation_clusters: int = 0
+    alpha: float = 2.0
+    epsilon: float = 2.0
+    gamma0: float = 0.3
+    eta0: float = 1.0
+    max_iterations: int = 60
+    tolerance: float = 1e-3
+    forgetting_rate: float = 0.875
+    svi_iterations: int = 3
+    svi_coverage_correction: bool = True
+    svi_batch_answers: int = 100
+    consensus_floor: float = 0.02
+    consensus_smoothing: float = 1.0
+    consensus_blend: float = 2.0
+    use_item_evidence: bool = True
+    evidence_weight: float = 1.0
+    max_predicted_labels: int = 0
+    exhaustive_label_limit: int = 16
+    seed: int = 0
+    max_truncation: int = 40
+    init_noise: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.truncation_communities < 0 or self.truncation_clusters < 0:
+            raise ValidationError("truncations must be non-negative (0 = auto)")
+        for name in ("alpha", "epsilon", "gamma0", "eta0"):
+            if getattr(self, name) <= 0:
+                raise ValidationError(f"{name} must be positive")
+        if self.max_iterations <= 0:
+            raise ValidationError("max_iterations must be positive")
+        if self.tolerance <= 0:
+            raise ValidationError("tolerance must be positive")
+        if not 0.5 < self.forgetting_rate <= 1.0:
+            raise ValidationError(
+                "forgetting_rate must lie in (0.5, 1] for SVI convergence"
+            )
+        if self.svi_iterations <= 0:
+            raise ValidationError("svi_iterations must be positive")
+        if self.svi_batch_answers <= 0:
+            raise ValidationError("svi_batch_answers must be positive")
+        if self.consensus_floor < 0 or self.consensus_smoothing < 0:
+            raise ValidationError("consensus parameters must be non-negative")
+        if self.consensus_blend < 0:
+            raise ValidationError("consensus_blend must be non-negative")
+        if self.evidence_weight < 0:
+            raise ValidationError("evidence_weight must be non-negative")
+        if self.max_truncation < 2:
+            raise ValidationError("max_truncation must be at least 2")
+
+    def resolve_truncations(self, n_items: int, n_workers: int) -> tuple[int, int]:
+        """Concrete ``(T, M)`` for a dataset of the given size.
+
+        Auto mode uses ``min(max_truncation, size // 4 + 2)`` — generous
+        relative to the handful of worker types / item themes the
+        generative processes produce, so truncation does not bind, while
+        keeping the cost of the ``(T, M, C)`` sufficient statistics low.
+        """
+        t = self.truncation_clusters or min(self.max_truncation, n_items // 4 + 2)
+        m = self.truncation_communities or min(
+            self.max_truncation, n_workers // 4 + 2
+        )
+        return max(2, min(t, n_items)), max(2, min(m, n_workers))
+
+    def with_overrides(self, **changes: object) -> "CPAConfig":
+        """A modified copy (convenience for experiments)."""
+        return replace(self, **changes)  # type: ignore[arg-type]

@@ -1,0 +1,144 @@
+"""MapReduce-style scale-out for inference and prediction (paper Alg. 3).
+
+:class:`~repro.core.svi.StochasticInference` already factors each batch
+into a MAP phase over worker chunks and a central REDUCE; this module
+provides the deployment-facing pieces:
+
+* :func:`parallel_inference` — an SVI engine bound to a process/thread pool
+  of a chosen degree (the paper's ``P``);
+* :func:`parallel_predict` — label-set instantiation fanned out over item
+  chunks ("the instantiation of labels is independent for all items and
+  therefore can be done in parallel", §4.2);
+* :func:`speedup_model` — the analytical runtime model of §4.3
+  (``(T1 / (B·P) + T2) · C2 · B``), used by the Fig-7 experiment to put
+  measured numbers next to the paper's expectation.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, FrozenSet, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import CPAConfig
+from repro.core.consensus import ClusterConsensus
+from repro.core.prediction import greedy_map_labels, item_cluster_log_weights
+from repro.core.state import CPAState
+from repro.core.svi import StochasticInference
+from repro.data.answers import AnswerMatrix
+from repro.data.dataset import GroundTruth
+from repro.errors import ValidationError
+from repro.utils.parallel import Executor, make_executor
+from repro.utils.random import Seed
+
+
+def parallel_inference(
+    config: CPAConfig,
+    n_items: int,
+    n_workers: int,
+    n_labels: int,
+    *,
+    degree: int,
+    backend: str = "process",
+    truth: Optional[GroundTruth] = None,
+    seed: Seed = None,
+) -> StochasticInference:
+    """An SVI engine whose MAP phase runs on ``degree`` parallel lanes.
+
+    ``backend`` is ``'process'`` (true multicore, Alg. 3's setting) or
+    ``'thread'``.  The caller owns the engine's executor lifetime; use
+    :func:`close_engine` or ``engine.executor.close()`` when done.
+    """
+    if degree <= 0:
+        raise ValidationError("degree must be positive")
+    executor: Executor = make_executor(backend, degree)
+    return StochasticInference(
+        config,
+        n_items,
+        n_workers,
+        n_labels,
+        truth=truth,
+        seed=seed,
+        executor=executor,
+    )
+
+
+def close_engine(engine: StochasticInference) -> None:
+    """Release the engine's executor resources (idempotent)."""
+    engine.executor.close()
+
+
+def _predict_item_chunk(
+    chunk: range,
+    *,
+    log_weights: np.ndarray,
+    inclusion: np.ndarray,
+    item_ids: np.ndarray,
+    max_labels: int,
+) -> list[tuple[int, FrozenSet[int]]]:
+    """Greedy MAP search for a contiguous chunk of items (picklable)."""
+    out: list[tuple[int, FrozenSet[int]]] = []
+    for row in chunk:
+        detail = greedy_map_labels(
+            log_weights[row], inclusion, max_labels=max_labels
+        )
+        out.append((int(item_ids[row]), detail.labels))
+    return out
+
+
+def parallel_predict(
+    state: CPAState,
+    consensus: ClusterConsensus,
+    answers: AnswerMatrix,
+    config: CPAConfig,
+    *,
+    executor: Executor,
+    items: Optional[Sequence[int]] = None,
+) -> Dict[int, FrozenSet[int]]:
+    """Predict label sets for ``items`` with the search fanned out.
+
+    The cluster-weight computation (which touches the shared answer matrix)
+    runs once in the caller; only the embarrassingly-parallel per-item
+    greedy searches are distributed.
+    """
+    if items is None:
+        items = answers.answered_items()
+    item_ids = np.asarray(list(items), dtype=int)
+    log_weights = item_cluster_log_weights(state, consensus, answers, item_ids.tolist())
+
+    map_fn = functools.partial(
+        _predict_item_chunk,
+        log_weights=log_weights,
+        inclusion=consensus.inclusion,
+        item_ids=item_ids,
+        max_labels=config.max_predicted_labels,
+    )
+    pieces = executor.map_chunks(map_fn, item_ids.size)
+    result: Dict[int, FrozenSet[int]] = {}
+    for piece in pieces:
+        result.update(piece)
+    return result
+
+
+def speedup_model(
+    t_local: float,
+    t_global: float,
+    *,
+    n_batches: int,
+    degree: int,
+    iterations_offline: int,
+    iterations_online: int = 1,
+) -> tuple[float, float]:
+    """The §4.3 analytical runtimes ``(offline, online-parallel)``.
+
+    Offline: ``(T1 + T2) · C1``.  Online with ``B`` batches on ``P``
+    processors: ``(T1 / (B·P) + T2) · C2 · B`` where ``C2`` is the
+    per-batch iteration count (≈ 1 for SVI).  Useful for sanity-checking
+    measured Fig-7 curves against the paper's model.
+    """
+    if min(t_local, t_global) < 0 or min(n_batches, degree) <= 0:
+        raise ValidationError("runtime components must be non-negative, counts positive")
+    offline = (t_local + t_global) * iterations_offline
+    online = (t_local / (n_batches * degree) + t_global) * iterations_online * n_batches
+    return offline, online

@@ -1,0 +1,101 @@
+"""Natural-gradient targets for stochastic variational inference.
+
+Paper Eqs. 9–15 give per-worker natural gradients of the ELBO; summed over
+a batch ``U_b`` and scaled by ``U / U_b`` (the update rule of Eqs. 18–20),
+every global parameter's SVI step takes the standard convex-combination
+form
+
+``θ ← (1 - ω_b) θ + ω_b θ̂``,
+
+where ``θ̂`` is the value the batch *alone* would imply for the full
+dataset (prior + scaled batch statistics).  This module computes those
+targets; :mod:`repro.core.svi` applies the steps.  Item-side statistics are
+scaled by ``I / |N_b|`` (the batch's item coverage) — the analogue of the
+worker-side ``U / U_b`` scaling, required for unbiased stochastic gradients
+when batches cover only part of the item set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import CPAConfig
+
+
+@dataclass(frozen=True)
+class GlobalTargets:
+    """Scaled full-dataset estimates implied by one batch."""
+
+    lam: np.ndarray  # (T, M, C)
+    cell_mass: np.ndarray  # (T, M)
+    rho: np.ndarray  # (M-1, 2)
+    ups: np.ndarray  # (T-1, 2)
+    zeta: np.ndarray  # (T, C, 2)
+
+
+def stick_targets(mass: np.ndarray, concentration: float) -> np.ndarray:
+    """Beta-parameter targets from (scaled) component masses (Eqs. 11-14).
+
+    ``target_k1 = 1 + mass_k`` and ``target_k2 = concentration +
+    Σ_{l>k} mass_l`` for the first ``K-1`` sticks.
+    """
+    tail = np.concatenate([np.cumsum(mass[::-1])[::-1][1:], [0.0]])
+    out = np.empty((mass.shape[0] - 1, 2))
+    out[:, 0] = 1.0 + mass[:-1]
+    out[:, 1] = concentration + tail[:-1]
+    return out
+
+
+def compute_global_targets(
+    config: CPAConfig,
+    *,
+    batch_counts: np.ndarray,
+    batch_mass: np.ndarray,
+    batch_kappa_mass: np.ndarray,
+    batch_phi_mass: np.ndarray,
+    batch_zeta_counts: np.ndarray,
+    worker_scale: float,
+    item_scale: float,
+) -> GlobalTargets:
+    """Assemble all global targets from batch sufficient statistics.
+
+    Parameters
+    ----------
+    batch_counts:
+        ``(T, M, C)`` — ``Σ_{(i,u) ∈ b} ϕ_it κ_um x_iuc`` (Eq. 9's data term).
+    batch_mass:
+        ``(T, M)`` — ``Σ_{(i,u) ∈ b} ϕ_it κ_um`` (answer mass per cell).
+    batch_kappa_mass:
+        ``(M,)`` — ``Σ_{u ∈ U_b} κ_um`` (Eqs. 11/12's data term).
+    batch_phi_mass:
+        ``(T,)`` — ``Σ_{i ∈ N_b} ϕ_it`` (Eqs. 13/14's data term).
+    batch_zeta_counts:
+        ``(T, C, 2)`` — observed-truth presence/absence counts in the batch
+        (Eq. 10's data term, per-label Beta form).
+    worker_scale / item_scale:
+        ``U / U_b`` and ``I / |N_b|`` respectively.
+    """
+    lam = config.gamma0 + worker_scale * batch_counts
+    cell_mass = worker_scale * batch_mass
+    rho = stick_targets(worker_scale * batch_kappa_mass, config.alpha)
+    ups = stick_targets(item_scale * batch_phi_mass, config.epsilon)
+    zeta = config.eta0 + item_scale * batch_zeta_counts
+    return GlobalTargets(lam=lam, cell_mass=cell_mass, rho=rho, ups=ups, zeta=zeta)
+
+
+def learning_rate(batch_index: int, forgetting_rate: float) -> float:
+    """``ω_b = (1 + b)^-r`` (paper §4.1).
+
+    ``batch_index`` is 1-based; any ``r ∈ (0.5, 1]`` satisfies the
+    Robbins-Monro conditions ``Σω = ∞``, ``Σω² < ∞``.
+    """
+    if batch_index < 1:
+        raise ValueError("batch_index is 1-based")
+    return float((1.0 + batch_index) ** (-forgetting_rate))
+
+
+def interpolate(old: np.ndarray, target: np.ndarray, rate: float) -> np.ndarray:
+    """The SVI step ``(1 - ω) old + ω target`` (Eqs. 18-20)."""
+    return (1.0 - rate) * old + rate * target

@@ -1,0 +1,293 @@
+"""MAP label-set prediction (paper §3.4 and Appendix D).
+
+For item ``i`` with answering workers ``U_i``, the paper's predictive
+objective is
+
+``p(y_i, x_{U_i}) = Σ_t w_it · p(y_i | φ̂_t)``  with
+``w_it = ϕ_it · Π_{u ∈ U_i} Σ_m κ_um p(x_iu | ψ_tm^MAP)``,
+
+maximised over label sets ``y_i``.  Exhaustive maximisation is ``O(2^C)``
+(NP-hard in general, §3.4), so the default is the paper's greedy search:
+start from the empty set and repeatedly add the label that most increases
+the objective, stopping when no label improves it.  ``p(y | φ̂_t)`` uses
+per-label Bernoulli semantics (DESIGN.md §4.3), which makes the greedy
+stopping rule well-posed.
+
+All computations run in log space: the per-cluster factor ``ln G_t(y)``
+starts at ``Σ_c ln(1 - φ̂_tc)`` and adding label ``c`` shifts it by the
+log-odds ``ln φ̂_tc - ln(1 - φ̂_tc)``; the objective is
+``logsumexp_t(ln w_it + ln G_t)``.  The per-item search is embarrassingly
+parallel (paper §3.4), which :mod:`repro.core.mapreduce` exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import CPAConfig
+from repro.core.consensus import ClusterConsensus
+from repro.core.expectations import map_estimate_dirichlet
+from repro.core.state import CPAState
+from repro.data.answers import AnswerMatrix
+from repro.errors import PredictionError
+from repro.utils.math import logsumexp, safe_log
+
+
+@dataclass(frozen=True)
+class PredictionDetail:
+    """Per-item diagnostics accompanying a predicted label set."""
+
+    labels: FrozenSet[int]
+    log_objective: float
+    cluster_weights: np.ndarray
+
+
+def item_cluster_log_weights(
+    state: CPAState,
+    consensus: ClusterConsensus,
+    answers: AnswerMatrix,
+    items: Sequence[int],
+    *,
+    use_phi: bool = True,
+) -> np.ndarray:
+    """``ln w_it`` (unnormalised) for each requested item; shape ``(len, T)``.
+
+    Follows Appendix D: the fitted responsibility ``ϕ_it`` (or the cluster
+    prior for unseen items / ``use_phi=False``) times the product over the
+    item's answers of the community-mixture likelihood
+    ``Σ_m κ_um p(x_iu | ψ_tm^MAP)``.
+    """
+    psi_map = map_estimate_dirichlet(state.lam)  # (T, M, C)
+    log_psi = safe_log(psi_map)
+    prior = safe_log(consensus.cluster_weights)
+
+    out = np.empty((len(items), state.n_clusters))
+    for row, item in enumerate(items):
+        if use_phi and 0 <= item < state.n_items:
+            base = safe_log(state.phi[item])
+        else:
+            base = prior.copy()
+        scores = base.copy()
+        for worker in answers.workers_for_item(item):
+            labels = answers.get(item, worker)
+            if not labels:
+                continue
+            idx = sorted(labels)
+            # ln p(x | ψ_tm) = Σ_{c in x} ln ψ_tmc   (multinomial, constant
+            # coefficient dropped — it cancels in the normalisation).
+            log_like = log_psi[:, :, idx].sum(axis=2)  # (T, M)
+            mix = logsumexp(log_like + safe_log(state.kappa[worker])[None, :], axis=1)
+            scores += mix
+        out[row] = scores
+    return out
+
+
+def item_evidence(
+    state: CPAState,
+    consensus: ClusterConsensus,
+    answers: AnswerMatrix,
+    items: Sequence[int],
+) -> np.ndarray:
+    """Per-item, per-label log-likelihood-ratio evidence; shape ``(len, C)``.
+
+    For item ``i`` and label ``c`` each answering worker ``u`` contributes
+    ``ln P(x_iuc | y_ic = 1) - ln P(x_iuc | y_ic = 0)`` under the worker's
+    community-mixed two-coin rates (``s_uc = Σ_m κ_um s_mc`` etc.).
+    Returns zeros when the consensus carries no label rates — prediction
+    then degenerates to the paper's literal Appendix-D objective.
+    """
+    out = np.zeros((len(items), state.n_labels))
+    rates = consensus.label_rates
+    if rates is None:
+        return out
+    for row, item in enumerate(items):
+        for worker in answers.workers_for_item(item):
+            labels = answers.get(item, worker)
+            if not labels:
+                continue
+            kappa_u = state.kappa[worker]  # (M,)
+            sens = kappa_u @ rates.sensitivity  # (C,) mix probabilities first
+            false = kappa_u @ rates.false_rate
+            x = np.zeros(state.n_labels)
+            x[sorted(labels)] = 1.0
+            present = x * (safe_log(sens) - safe_log(false))
+            absent = (1.0 - x) * (safe_log(1.0 - sens) - safe_log(1.0 - false))
+            out[row] += present + absent
+    return out
+
+
+def greedy_map_labels(
+    log_weights: np.ndarray,
+    inclusion: np.ndarray,
+    *,
+    evidence: Optional[np.ndarray] = None,
+    max_labels: int = 0,
+    min_gain: float = 1e-9,
+) -> PredictionDetail:
+    """Greedy MAP search for one item (paper §3.4's approximation).
+
+    Parameters
+    ----------
+    log_weights:
+        ``(T,)`` unnormalised ``ln w_t`` for this item.
+    inclusion:
+        ``(T, C)`` consensus inclusion probabilities ``φ̂``.
+    evidence:
+        Optional ``(C,)`` per-label log-likelihood-ratio offsets from the
+        item's own answers (see :func:`item_evidence`).
+    max_labels:
+        Optional cap on the label-set size (0 = up to ``C``).
+    min_gain:
+        Minimum log-objective improvement to keep growing — guards against
+        cycling on ties introduced by floating-point noise.
+    """
+    n_clusters, n_labels = inclusion.shape
+    if log_weights.shape != (n_clusters,):
+        raise PredictionError("log_weights shape disagrees with inclusion matrix")
+    cap = max_labels if max_labels > 0 else n_labels
+
+    log_incl = safe_log(inclusion)
+    log_excl = safe_log(1.0 - inclusion)
+    log_odds = log_incl - log_excl  # (T, C)
+    if evidence is not None:
+        log_odds = log_odds + np.asarray(evidence)[None, :]
+
+    log_g = log_excl.sum(axis=1)  # ln G_t(∅)
+    current = float(logsumexp(log_weights + log_g))
+    chosen: List[int] = []
+    available = np.ones(n_labels, dtype=bool)
+
+    while len(chosen) < cap and available.any():
+        # Candidate objective for every still-available label in one shot:
+        # obj_c = logsumexp_t( ln w_t + ln G_t + log_odds_tc ).
+        cand = logsumexp(
+            (log_weights + log_g)[:, None] + log_odds, axis=0
+        )  # (C,)
+        cand[~available] = -np.inf
+        best = int(np.argmax(cand))
+        if cand[best] <= current + min_gain:
+            break
+        chosen.append(best)
+        available[best] = False
+        log_g = log_g + log_odds[:, best]
+        current = float(cand[best])
+
+    posterior = np.exp(log_weights + log_g - logsumexp(log_weights + log_g))
+    return PredictionDetail(
+        labels=frozenset(chosen),
+        log_objective=current,
+        cluster_weights=posterior,
+    )
+
+
+def exhaustive_map_labels(
+    log_weights: np.ndarray,
+    inclusion: np.ndarray,
+    *,
+    evidence: Optional[np.ndarray] = None,
+    limit: int = 16,
+) -> PredictionDetail:
+    """Exact ``2^C`` MAP search (tractable for small label spaces only).
+
+    Used by the `No L` ablation study (paper §5.4 runs it on the movie
+    dataset only) and by tests validating the greedy approximation.
+    """
+    n_clusters, n_labels = inclusion.shape
+    if n_labels > limit:
+        raise PredictionError(
+            f"exhaustive search over {n_labels} labels exceeds the limit {limit}"
+        )
+    log_incl = safe_log(inclusion)
+    log_excl = safe_log(1.0 - inclusion)
+    log_odds = log_incl - log_excl
+    if evidence is not None:
+        log_odds = log_odds + np.asarray(evidence)[None, :]
+
+    subsets = np.arange(2**n_labels, dtype=np.uint64)
+    bits = (subsets[:, None] >> np.arange(n_labels, dtype=np.uint64)[None, :]) & 1
+    bits = bits.astype(np.float64)  # (2^C, C)
+
+    base = log_weights + log_excl.sum(axis=1)  # (T,)
+    scores = logsumexp(base[None, :] + bits @ log_odds.T, axis=1)  # (2^C,)
+    best = int(np.argmax(scores))
+    labels = frozenset(int(c) for c in range(n_labels) if (best >> c) & 1)
+
+    log_g = log_excl.sum(axis=1) + bits[best] @ log_odds.T
+    posterior = np.exp(log_weights + log_g - logsumexp(log_weights + log_g))
+    return PredictionDetail(
+        labels=labels,
+        log_objective=float(scores[best]),
+        cluster_weights=posterior,
+    )
+
+
+def predict_items(
+    state: CPAState,
+    consensus: ClusterConsensus,
+    answers: AnswerMatrix,
+    config: CPAConfig,
+    items: Optional[Sequence[int]] = None,
+    *,
+    exhaustive: bool = False,
+) -> Dict[int, PredictionDetail]:
+    """Predict label sets for ``items`` (default: every item with answers)."""
+    if items is None:
+        items = answers.answered_items()
+    items = [int(i) for i in items]
+    log_weights = item_cluster_log_weights(state, consensus, answers, items)
+    if config.use_item_evidence and consensus.label_rates is not None:
+        evidence = config.evidence_weight * item_evidence(
+            state, consensus, answers, items
+        )
+    else:
+        evidence = np.zeros((len(items), state.n_labels))
+
+    results: Dict[int, PredictionDetail] = {}
+    for row, item in enumerate(items):
+        if exhaustive:
+            results[item] = exhaustive_map_labels(
+                log_weights[row],
+                consensus.inclusion,
+                evidence=evidence[row],
+                limit=config.exhaustive_label_limit,
+            )
+        else:
+            results[item] = greedy_map_labels(
+                log_weights[row],
+                consensus.inclusion,
+                evidence=evidence[row],
+                max_labels=config.max_predicted_labels,
+            )
+    return results
+
+
+def label_probabilities(
+    state: CPAState,
+    consensus: ClusterConsensus,
+    answers: AnswerMatrix,
+    items: Optional[Sequence[int]] = None,
+    *,
+    evidence_weight: float = 1.0,
+) -> np.ndarray:
+    """Marginal per-label posterior inclusion probabilities.
+
+    The cluster-mixture prior ``Σ_t ŵ_it φ̂_tc`` is combined (in log-odds
+    space) with the per-item evidence of :func:`item_evidence` when
+    available.  A soft alternative to the MAP set — useful for ranking and
+    threshold sweeps.  Rows align with ``items`` (default: all items that
+    received answers).
+    """
+    if items is None:
+        items = answers.answered_items()
+    items = [int(i) for i in items]
+    log_w = item_cluster_log_weights(state, consensus, answers, items)
+    norm = logsumexp(log_w, axis=1, keepdims=True)
+    weights = np.exp(log_w - norm)
+    prior = np.clip(weights @ consensus.inclusion, 1e-6, 1.0 - 1e-6)
+    logits = np.log(prior) - np.log1p(-prior)
+    if evidence_weight > 0 and consensus.label_rates is not None:
+        logits += evidence_weight * item_evidence(state, consensus, answers, items)
+    return 1.0 / (1.0 + np.exp(-logits))

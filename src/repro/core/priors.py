@@ -1,0 +1,156 @@
+"""External prior knowledge about label dependencies (paper §6 extension).
+
+The paper notes that expert knowledge about label relations "could be
+incorporated in our approach … expressed as conditional probabilities,
+which are then integrated in the label selection, i.e., step 2b of the
+generative process".  This module provides that hook without touching the
+core inference: a :class:`LabelKnowledge` object carries implication-style
+conditional probabilities ``P(label b | label a)``, and
+:func:`apply_knowledge` folds them into a fitted
+:class:`~repro.core.consensus.ClusterConsensus` by adjusting each
+cluster's inclusion probabilities — labels implied by a cluster's
+confident labels are boosted, labels whose implicants are absent are
+left untouched (knowledge is used only positively, mirroring the paper's
+co-occurrence semantics).
+
+Typical use::
+
+    knowledge = LabelKnowledge(n_labels=5)
+    knowledge.add_implication(cause=0, effect=1, probability=0.9)  # sky -> cloud
+    model = CPAModel().fit(dataset)
+    adjusted = apply_knowledge(model.consensus_, knowledge)
+    predictions = predict_items(model.state_, adjusted, dataset.answers, model.config)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.consensus import ClusterConsensus
+from repro.errors import ValidationError
+
+
+@dataclass
+class LabelKnowledge:
+    """A set of conditional label dependencies ``P(effect | cause)``.
+
+    Only dependencies *stronger than the model would otherwise assume* are
+    worth encoding; a probability of 0.5 is neutral under the log-odds
+    update used by :func:`apply_knowledge`.
+    """
+
+    n_labels: int
+    implications: List[Tuple[int, int, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_labels <= 0:
+            raise ValidationError("n_labels must be positive")
+        for cause, effect, probability in self.implications:
+            self._check(cause, effect, probability)
+
+    def _check(self, cause: int, effect: int, probability: float) -> None:
+        for name, label in (("cause", cause), ("effect", effect)):
+            if not 0 <= label < self.n_labels:
+                raise ValidationError(f"{name} label {label} out of range")
+        if cause == effect:
+            raise ValidationError("a label cannot imply itself")
+        if not 0.0 < probability < 1.0:
+            raise ValidationError("probability must lie strictly in (0, 1)")
+
+    def add_implication(self, cause: int, effect: int, probability: float) -> None:
+        """Record ``P(effect present | cause present) = probability``."""
+        self._check(cause, effect, probability)
+        self.implications.append((cause, effect, float(probability)))
+
+    def conditional_matrix(self) -> np.ndarray:
+        """Dense ``(C, C)`` matrix of conditionals; 0.5 (neutral) elsewhere.
+
+        When the same (cause, effect) pair is recorded twice, the last
+        entry wins — callers can refine knowledge incrementally.
+        """
+        matrix = np.full((self.n_labels, self.n_labels), 0.5)
+        for cause, effect, probability in self.implications:
+            matrix[cause, effect] = probability
+        return matrix
+
+    @classmethod
+    def from_cooccurrence_graph(
+        cls, graph, n_labels: int, *, strength: float = 0.8, min_weight: float = 0.3
+    ) -> "LabelKnowledge":
+        """Bootstrap knowledge from a Fig-1 co-occurrence graph.
+
+        Every edge at or above ``min_weight`` becomes a symmetric pair of
+        implications with conditional probability ``strength`` — a cheap
+        stand-in for curated expert rules, useful in examples and tests.
+        """
+        if not 0.5 < strength < 1.0:
+            raise ValidationError("strength must lie in (0.5, 1)")
+        knowledge = cls(n_labels=n_labels)
+        for a, b, data in graph.edges(data=True):
+            if data.get("weight", 0.0) >= min_weight:
+                knowledge.add_implication(int(a), int(b), strength)
+                knowledge.add_implication(int(b), int(a), strength)
+        return knowledge
+
+
+def apply_knowledge(
+    consensus: ClusterConsensus,
+    knowledge: LabelKnowledge,
+    *,
+    confidence_threshold: float = 0.6,
+) -> ClusterConsensus:
+    """Fold conditional label knowledge into the cluster consensus.
+
+    For every cluster ``t`` and every implication ``a → b`` whose cause is
+    confidently present (``φ̂_ta ≥ confidence_threshold``), the effect's
+    inclusion odds are updated by the implication's log-odds:
+
+    ``logit(φ̂'_tb) = logit(φ̂_tb) + φ̂_ta · logit(P(b | a))``
+
+    The cause's confidence scales the update, so weakly-present causes
+    contribute proportionally less.  Returns a new consensus; the input is
+    unchanged.
+    """
+    if knowledge.n_labels != consensus.inclusion.shape[1]:
+        raise ValidationError("knowledge and consensus disagree on label count")
+    if not 0.5 <= confidence_threshold < 1.0:
+        raise ValidationError("confidence_threshold must lie in [0.5, 1)")
+
+    inclusion = np.clip(consensus.inclusion, 1e-6, 1 - 1e-6)
+    logits = np.log(inclusion) - np.log1p(-inclusion)
+    for cause, effect, probability in knowledge.implications:
+        cause_conf = inclusion[:, cause]
+        active = cause_conf >= confidence_threshold
+        if not active.any():
+            continue
+        shift = np.log(probability) - np.log1p(-probability)
+        logits[active, effect] += cause_conf[active] * shift
+    adjusted = 1.0 / (1.0 + np.exp(-logits))
+    adjusted = np.clip(adjusted, 1e-4, 1 - 1e-4)
+
+    return ClusterConsensus(
+        inclusion=adjusted,
+        cluster_weights=consensus.cluster_weights,
+        community_weights=consensus.community_weights,
+        discriminability=consensus.discriminability,
+        community_sizes=consensus.community_sizes,
+        label_rates=consensus.label_rates,
+    )
+
+
+def knowledge_coverage(knowledge: LabelKnowledge) -> Dict[str, float]:
+    """Summary statistics of a knowledge base (for reports/audits)."""
+    if not knowledge.implications:
+        return {"n_rules": 0, "labels_covered": 0, "mean_strength": 0.0}
+    covered = {c for c, _, _ in knowledge.implications} | {
+        e for _, e, _ in knowledge.implications
+    }
+    strengths = [p for _, _, p in knowledge.implications]
+    return {
+        "n_rules": len(knowledge.implications),
+        "labels_covered": len(covered),
+        "mean_strength": float(np.mean(strengths)),
+    }

@@ -1,0 +1,524 @@
+"""Stochastic variational inference for CPA (paper Alg. 2 and Alg. 3).
+
+Answers arrive as :class:`~repro.data.streams.AnswerBatch` objects; each
+batch triggers
+
+1. a **MAP phase** over worker chunks — for each batch worker, the
+   community responsibilities ``κ`` (Eq. 2 on the batch answers) and the
+   per-item cluster evidence ``a_it`` (Eq. 15's data term), plus partial
+   sufficient statistics for the globals;
+2. a **REDUCE phase** — accumulation of the partials, the canonical-µ
+   update of ``ϕ`` (Eqs. 15–17), and damped natural-gradient steps on all
+   globals with learning rate ``ω_b = (1 + b)^-r`` (Eqs. 9–14, 18–20).
+
+With the default :class:`~repro.utils.parallel.SerialExecutor` this *is*
+paper Alg. 2; with a process/thread executor the MAP phase fans out over
+worker chunks exactly as Alg. 3 prescribes (each worker is a partition
+key, globals are reduced centrally and re-broadcast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import CPAConfig
+from repro.core.expectations import (
+    answer_log_likelihood,
+    expected_log_phi_beta,
+    expected_log_pi,
+    expected_log_psi,
+    expected_log_tau,
+)
+from repro.core.natural_gradients import (
+    compute_global_targets,
+    interpolate,
+    learning_rate,
+)
+from repro.core.state import CPAState, initialize_state
+from repro.data.dataset import GroundTruth
+from repro.data.streams import AnswerBatch
+from repro.errors import ValidationError
+from repro.utils.math import log_normalize_rows
+from repro.utils.parallel import Executor, SerialExecutor, split_chunks
+from repro.utils.random import Seed
+
+
+@dataclass(frozen=True)
+class _BatchData:
+    """Dense views of one batch, with answers sorted by batch worker.
+
+    Sorting makes each worker's answers a contiguous slice, so a chunk of
+    workers maps to a contiguous answer range (``worker_offsets``) — the
+    layout the MAP phase shards on.
+    """
+
+    items: np.ndarray  # (N_b,) global item ids, worker-sorted
+    indicators: np.ndarray  # (N_b, C), worker-sorted
+    batch_workers: np.ndarray  # distinct global worker ids (sorted)
+    batch_items: np.ndarray  # distinct global item ids (sorted)
+    worker_local: np.ndarray  # (N_b,) local worker index per answer
+    item_local: np.ndarray  # (N_b,) local item index per answer
+    worker_offsets: np.ndarray  # (len(batch_workers)+1,) slice boundaries
+
+
+def _prepare_batch(batch: AnswerBatch) -> Optional[_BatchData]:
+    items, workers, indicators = batch.matrix.to_arrays()
+    if items.size == 0:
+        return None
+    batch_workers, worker_local = np.unique(workers, return_inverse=True)
+    batch_items, item_local = np.unique(items, return_inverse=True)
+    order = np.argsort(worker_local, kind="stable")
+    worker_local = worker_local[order]
+    offsets = np.searchsorted(
+        worker_local, np.arange(batch_workers.size + 1)
+    ).astype(np.int64)
+    return _BatchData(
+        items=items[order],
+        indicators=indicators[order],
+        batch_workers=batch_workers,
+        batch_items=batch_items,
+        worker_local=worker_local,
+        item_local=item_local[order],
+        worker_offsets=offsets,
+    )
+
+
+#: One MAP task: (chunk_start, chunk_stop, x, phi_n, local_items,
+#: chunk_local_worker, n_batch_items, e_log_pi, e_log_psi).  The arrays are
+#: pre-sliced to the chunk's answers so a process pool ships only that
+#: lane's share of the batch.
+_MapTask = Tuple[
+    int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, np.ndarray, np.ndarray
+]
+
+
+def _map_worker_task(
+    task: _MapTask,
+) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """MAP phase of paper Alg. 3 for one chunk of batch workers.
+
+    Module-level (hence picklable for process pools).  Returns the chunk
+    bounds plus: the chunk's ``κ`` rows, its contribution to the per-item
+    evidence ``a_it``, and its partial λ-count / cell-mass statistics.
+    """
+    (
+        start,
+        stop,
+        x,
+        phi_n,
+        local_items,
+        local_worker,
+        n_batch_items,
+        e_log_pi,
+        e_log_psi,
+    ) = task
+    n_chunk_workers = stop - start
+    n_clusters, n_communities, n_labels = e_log_psi.shape
+
+    if x.shape[0] == 0:
+        return (
+            start,
+            stop,
+            np.tile(log_normalize_rows(e_log_pi[None, :]), (n_chunk_workers, 1)),
+            np.zeros((n_batch_items, n_clusters)),
+            np.zeros((n_clusters, n_communities, n_labels)),
+            np.zeros((n_clusters, n_communities)),
+            np.zeros(n_communities),
+        )
+
+    like = answer_log_likelihood(x, e_log_psi)  # (n, T, M)
+
+    # κ update (Eq. 2): aggregate ϕ-weighted likelihood per worker.
+    weighted = np.einsum("nt,ntm->nm", phi_n, like)
+    scores = np.tile(e_log_pi, (n_chunk_workers, 1))
+    np.add.at(scores, local_worker, weighted)
+    kappa_chunk = log_normalize_rows(scores)
+
+    # a_it contribution (Eq. 15) with the freshly updated κ of this chunk.
+    kappa_n = kappa_chunk[local_worker]
+    contrib = np.einsum("nm,ntm->nt", kappa_n, like)
+    item_evidence = np.zeros((n_batch_items, n_clusters))
+    np.add.at(item_evidence, local_items, contrib)
+
+    # Partial sufficient statistics for the global step (Eq. 6 / Eq. 9).
+    joint = phi_n[:, :, None] * kappa_n[:, None, :]  # (n, T, M)
+    counts = np.einsum("ntm,nc->tmc", joint, x)
+    mass = joint.sum(axis=0)
+    kappa_mass = kappa_chunk.sum(axis=0)
+    return start, stop, kappa_chunk, item_evidence, counts, mass, kappa_mass
+
+
+class StochasticInference:
+    """Incremental CPA learner (paper Alg. 2; Alg. 3 with a parallel executor).
+
+    Parameters
+    ----------
+    config:
+        Hyperparameters; ``config.forgetting_rate`` is the ``r`` of the
+        learning-rate schedule, ``config.svi_iterations`` the number of
+        local refinement passes per batch.
+    n_items, n_workers, n_labels:
+        Full index-space sizes (the paper's ``I``, ``U``, ``C`` scaling
+        constants — parameters must stay aligned across batches).
+    truth:
+        Optional observed true labels for items that appear in batches.
+    executor:
+        Backend for the MAP phase; serial by default.
+    total_answers_hint:
+        Expected total number of answers of the full stream.  The paper's
+        ``U / U_b`` gradient scaling assumes each batch carries *whole
+        workers* (Alg. 2 fetches "the answers of users U_b"); for streams
+        that split a worker's answers across batches (arrival fractions,
+        fixed-size answer batches) that scale underestimates the full-data
+        statistics by up to the batch count.  When the hint is given, the
+        scale ``N_total / N_b`` is used instead, which is correct for any
+        batching policy.
+    """
+
+    def __init__(
+        self,
+        config: CPAConfig,
+        n_items: int,
+        n_workers: int,
+        n_labels: int,
+        truth: Optional[GroundTruth] = None,
+        seed: Seed = None,
+        executor: Optional[Executor] = None,
+        total_answers_hint: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.n_items = n_items
+        self.n_workers = n_workers
+        self.n_labels = n_labels
+        self.executor = executor or SerialExecutor()
+        self.state = initialize_state(config, n_items, n_workers, n_labels, seed=seed)
+        self.state.sync_mu_from_phi()
+        self._seed = seed
+        self._seeded = False
+        self._truth = truth
+        self.total_answers_hint = total_answers_hint
+        if truth is not None and len(truth) > 0:
+            self.truth_indicator = truth.to_indicator_matrix()
+            mask = np.zeros(n_items, dtype=bool)
+            mask[truth.known_items()] = True
+            self.truth_mask = mask
+        else:
+            self.truth_indicator = np.zeros((n_items, n_labels))
+            self.truth_mask = np.zeros(n_items, dtype=bool)
+
+    # ------------------------------------------------------------------ stream
+
+    def fit_stream(self, batches: Iterable[AnswerBatch]) -> CPAState:
+        """Consume an entire batch stream; returns the final state."""
+        for batch in batches:
+            self.process_batch(batch)
+        return self.state
+
+    def process_batch(self, batch: AnswerBatch) -> float:
+        """One SVI step (paper Alg. 2 body); returns the learning rate used.
+
+        Empty batches advance the batch counter but change nothing.
+        """
+        data = _prepare_batch(batch)
+        self.state.batches_seen += 1
+        rate = learning_rate(self.state.batches_seen, self.config.forgetting_rate)
+        if data is None:
+            return rate
+        if not self._seeded:
+            self._seed_from_first_batch(data)
+            self._seeded = True
+
+        state = self.state
+        e_log_pi = expected_log_pi(state.rho)
+        e_log_tau = expected_log_tau(state.ups)
+        e_log_psi = expected_log_psi(state.lam)
+
+        worker_scale = self._gradient_scale(data)
+        item_scale = max(1.0, self.n_items / data.batch_items.size)
+
+        phi_batch = state.phi[data.batch_items]  # provisional (I_b, T)
+        kappa_batch = state.kappa[data.batch_workers]
+        counts = mass = kappa_mass = None
+        mu_target = np.zeros((data.batch_items.size, state.n_clusters - 1))
+        for _ in range(self.config.svi_iterations):
+            kappa_batch, evidence, counts, mass, kappa_mass = self._map_reduce(
+                data, phi_batch, e_log_pi, e_log_psi
+            )
+            scores = np.tile(e_log_tau, (data.batch_items.size, 1))
+            scores += worker_scale * evidence
+            scores += self._supervised_scores(data)
+            mu_target = scores[:, :-1] - scores[:, -1:]
+            phi_batch = log_normalize_rows(scores)
+
+        # ---- REDUCE: commit locals, damped global steps -------------------
+        state.kappa[data.batch_workers] = kappa_batch
+        assert state.mu is not None
+        state.mu[data.batch_items] = interpolate(
+            state.mu[data.batch_items], mu_target, rate
+        )
+        state.sync_phi_from_mu()
+
+        # The MAP phase accumulated cell statistics under the *provisional*
+        # (undamped) ϕ of the local loop; recompute them under the committed
+        # damped ϕ so single noisy batch assignments cannot drag the global
+        # profiles.
+        assert kappa_mass is not None
+        counts, mass = self._batch_cell_statistics(
+            data, state.phi[data.batch_items], kappa_batch
+        )
+        zeta_counts = self._batch_zeta_counts(data, state.phi[data.batch_items])
+        targets = compute_global_targets(
+            self.config,
+            batch_counts=counts,
+            batch_mass=mass,
+            batch_kappa_mass=kappa_mass,
+            batch_phi_mass=state.phi[data.batch_items].sum(axis=0),
+            batch_zeta_counts=zeta_counts,
+            worker_scale=worker_scale,
+            item_scale=item_scale,
+        )
+        if self.config.svi_coverage_correction:
+            # Scale each component's step by the share of its answer mass
+            # this batch observed: components absent from the batch keep
+            # their parameters instead of decaying to the prior (see
+            # CPAConfig.svi_coverage_correction).
+            eps = 1e-9
+            cell_cov = np.minimum(
+                1.0, worker_scale * mass / np.maximum(state.cell_mass, eps)
+            )  # (T, M)
+            cluster_cov = np.minimum(
+                1.0,
+                worker_scale * mass.sum(axis=1)
+                / np.maximum(state.cell_mass.sum(axis=1), eps),
+            )  # (T,)
+            community_cov = np.minimum(
+                1.0,
+                worker_scale * mass.sum(axis=0)
+                / np.maximum(state.cell_mass.sum(axis=0), eps),
+            )  # (M,)
+            lam_rate = rate * cell_cov[:, :, None]
+            state.lam = (1.0 - lam_rate) * state.lam + lam_rate * targets.lam
+            cm_rate = rate * cell_cov
+            state.cell_mass = (
+                (1.0 - cm_rate) * state.cell_mass + cm_rate * targets.cell_mass
+            )
+            rho_rate = rate * community_cov[:-1, None]
+            state.rho = (1.0 - rho_rate) * state.rho + rho_rate * targets.rho
+            ups_rate = rate * cluster_cov[:-1, None]
+            state.ups = (1.0 - ups_rate) * state.ups + ups_rate * targets.ups
+            zeta_rate = rate * cluster_cov[:, None, None]
+            state.zeta = (1.0 - zeta_rate) * state.zeta + zeta_rate * targets.zeta
+        else:
+            state.lam = interpolate(state.lam, targets.lam, rate)
+            state.cell_mass = interpolate(state.cell_mass, targets.cell_mass, rate)
+            state.rho = interpolate(state.rho, targets.rho, rate)
+            state.ups = interpolate(state.ups, targets.ups, rate)
+            state.zeta = interpolate(state.zeta, targets.zeta, rate)
+        return rate
+
+    def _gradient_scale(self, data: _BatchData) -> float:
+        """Gradient scale for the batch (see ``total_answers_hint``)."""
+        if self.total_answers_hint is not None and data.items.size > 0:
+            return max(1.0, self.total_answers_hint / data.items.size)
+        return max(1.0, self.n_workers / data.batch_workers.size)
+
+    def refreshed_state(self, matrix, sweeps: int = 2) -> CPAState:
+        """Posterior refresh for online prediction (paper §4.1).
+
+        The paper instantiates labels from "the corresponding approximated
+        posterior distributions of model variables" regenerated after each
+        batch; concretely we run ``sweeps`` warm-started coordinate-ascent
+        sweeps over the answers accumulated so far, starting from a *copy*
+        of the online state (the SVI trajectory itself is untouched).
+
+        Truncated-DP stochastic trajectories can occasionally collapse
+        components on very small streams (rich-get-richer churn); to guard
+        against predicting from a collapsed basin, the same sweep budget is
+        also spent from a fresh signature-seeded start and the candidate
+        with the higher ELBO is returned — plain variational model
+        selection.  The total cost is a handful of data scans, far below
+        the tens of scans an offline refit needs, preserving the paper's
+        runtime hierarchy.
+        """
+        from repro.core.inference import VariationalInference
+
+        sweeps = max(1, sweeps)
+        warm = VariationalInference(
+            self.config, matrix, truth=self._truth, seed=self._seed
+        )
+        fresh_state = warm.state.copy()  # signature-seeded init
+        warm.state = self.state.copy()
+        for _ in range(sweeps):
+            warm.sweep()
+        warm_elbo = warm.elbo()
+        warm_state = warm.state
+
+        warm.state = fresh_state
+        for _ in range(sweeps):
+            warm.sweep()
+        if warm.elbo() > warm_elbo:
+            return warm.state
+        return warm_state
+
+    def _seed_from_first_batch(self, data: _BatchData) -> None:
+        """Symmetry-breaking initialisation from the first batch's answers.
+
+        The truncated-DP variational state collapses onto its first
+        components when started uninformed (see
+        :func:`repro.core.state._farthest_point_responsibilities`); the
+        first batch provides the signatures to seed responsibilities, and
+        the global parameters are set to the batch's scaled statistics so
+        subsequent damped steps refine — rather than erase — the seeded
+        structure.
+        """
+        item_sig = np.zeros((self.n_items, self.n_labels))
+        worker_sig = np.zeros((self.n_workers, self.n_labels))
+        global_items = data.items
+        global_workers = data.batch_workers[data.worker_local]
+        np.add.at(item_sig, global_items, data.indicators)
+        np.add.at(worker_sig, global_workers, data.indicators)
+
+        seeded = initialize_state(
+            self.config,
+            self.n_items,
+            self.n_workers,
+            self.n_labels,
+            seed=self._seed,
+            item_signatures=item_sig,
+            worker_signatures=worker_sig,
+        )
+        batches_seen = self.state.batches_seen
+        self.state = seeded
+        self.state.batches_seen = batches_seen
+        self.state.sync_mu_from_phi()
+
+        # Align the globals with the seeded responsibilities (the online
+        # analogue of batch VI's init-consistency pass).
+        phi_batch = self.state.phi[data.batch_items]
+        kappa_batch = self.state.kappa[data.batch_workers]
+        counts, mass = self._batch_cell_statistics(data, phi_batch, kappa_batch)
+        worker_scale = self._gradient_scale(data)
+        item_scale = max(1.0, self.n_items / data.batch_items.size)
+        targets = compute_global_targets(
+            self.config,
+            batch_counts=counts,
+            batch_mass=mass,
+            batch_kappa_mass=kappa_batch.sum(axis=0),
+            batch_phi_mass=phi_batch.sum(axis=0),
+            batch_zeta_counts=self._batch_zeta_counts(data, phi_batch),
+            worker_scale=worker_scale,
+            item_scale=item_scale,
+        )
+        self.state.lam = targets.lam
+        self.state.cell_mass = targets.cell_mass
+        self.state.rho = targets.rho
+        self.state.ups = targets.ups
+        self.state.zeta = targets.zeta
+
+    # ------------------------------------------------------------------ phases
+
+    def _map_reduce(
+        self,
+        data: _BatchData,
+        phi_batch: np.ndarray,
+        e_log_pi: np.ndarray,
+        e_log_psi: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Run the MAP phase over worker chunks and reduce the partials.
+
+        Tasks are pre-sliced per chunk (answers are worker-sorted, so a
+        chunk of workers is a contiguous answer range) before submission,
+        keeping process-pool payloads proportional to each lane's share.
+        """
+        phi_n = phi_batch[data.item_local]  # (N_b, T)
+        tasks: List[_MapTask] = []
+        for chunk in split_chunks(data.batch_workers.size, self.executor.degree):
+            lo = int(data.worker_offsets[chunk.start])
+            hi = int(data.worker_offsets[chunk.stop])
+            tasks.append(
+                (
+                    chunk.start,
+                    chunk.stop,
+                    data.indicators[lo:hi],
+                    phi_n[lo:hi],
+                    data.item_local[lo:hi],
+                    data.worker_local[lo:hi] - chunk.start,
+                    data.batch_items.size,
+                    e_log_pi,
+                    e_log_psi,
+                )
+            )
+        pieces = self.executor.map_tasks(_map_worker_task, tasks)
+
+        kappa = np.empty((data.batch_workers.size, e_log_pi.size))
+        evidence = np.zeros((data.batch_items.size, self.state.n_clusters))
+        counts = np.zeros_like(self.state.lam)
+        mass = np.zeros_like(self.state.cell_mass)
+        kappa_mass = np.zeros(self.state.n_communities)
+        for start, stop, kappa_chunk, ev, cnt, ms, km in pieces:
+            kappa[start:stop] = kappa_chunk
+            evidence += ev
+            counts += cnt
+            mass += ms
+            kappa_mass += km
+        return kappa, evidence, counts, mass, kappa_mass
+
+    def _batch_cell_statistics(
+        self, data: _BatchData, phi_batch: np.ndarray, kappa_batch: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Eq. 6 sufficient statistics of one batch (used by seeding)."""
+        phi_rows = phi_batch[data.item_local]
+        kappa_rows = kappa_batch[data.worker_local]
+        joint = phi_rows[:, :, None] * kappa_rows[:, None, :]  # (N_b, T, M)
+        counts = np.einsum("ntm,nc->tmc", joint, data.indicators)
+        return counts, joint.sum(axis=0)
+
+    def _supervised_scores(self, data: _BatchData) -> np.ndarray:
+        """Observed-truth contribution to the batch items' cluster scores."""
+        scores = np.zeros((data.batch_items.size, self.state.n_clusters))
+        observed = self.truth_mask[data.batch_items]
+        if observed.any():
+            e_log_phi, e_log_phi_c = expected_log_phi_beta(self.state.zeta)
+            y = self.truth_indicator[data.batch_items[observed]]
+            scores[observed] = y @ e_log_phi.T + (1.0 - y) @ e_log_phi_c.T
+        return scores
+
+    def _batch_zeta_counts(
+        self, data: _BatchData, phi_batch: np.ndarray
+    ) -> np.ndarray:
+        """Observed-truth presence/absence counts for Eq. 10."""
+        zeta_counts = np.zeros((self.state.n_clusters, self.n_labels, 2))
+        observed = self.truth_mask[data.batch_items]
+        if observed.any():
+            phi_obs = phi_batch[observed]
+            y_obs = self.truth_indicator[data.batch_items[observed]]
+            zeta_counts[..., 0] = phi_obs.T @ y_obs
+            zeta_counts[..., 1] = phi_obs.T @ (1.0 - y_obs)
+        return zeta_counts
+
+
+def stream_from_matrix(
+    matrix,
+    *,
+    answers_per_batch: int = 0,
+    workers_per_batch: int = 0,
+    seed: Seed = None,
+) -> List[AnswerBatch]:
+    """Convenience: materialise a batch list from an answer matrix.
+
+    Exactly one of ``answers_per_batch`` / ``workers_per_batch`` must be
+    positive; the policies mirror :class:`repro.data.streams.AnswerStream`.
+    """
+    from repro.data.streams import AnswerStream
+
+    if (answers_per_batch > 0) == (workers_per_batch > 0):
+        raise ValidationError(
+            "specify exactly one of answers_per_batch / workers_per_batch"
+        )
+    stream = AnswerStream(matrix, seed=seed)
+    if answers_per_batch > 0:
+        return list(stream.by_answers(answers_per_batch))
+    return list(stream.by_workers(workers_per_batch))

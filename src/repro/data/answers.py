@@ -1,0 +1,265 @@
+"""The partial-agreement answer matrix (paper §2.2).
+
+An :class:`AnswerMatrix` stores, for item ``i`` and worker ``u``, the label
+*set* ``x_iu ⊆ Z`` the worker assigned — or nothing at all if the worker
+never saw the item.  The distinction between "answered with the empty set"
+and "did not answer" matters: the paper treats only non-empty answers as
+observations, and this class enforces that an explicit answer carries at
+least one label.
+
+Storage is sparse (a dict keyed by ``(item, worker)``) with per-item and
+per-worker indices maintained incrementally, plus a cached conversion to the
+flat numpy layout used by vectorised inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One worker's answer to one item: a non-empty set of label indices."""
+
+    item: int
+    worker: int
+    labels: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ValidationError("an explicit answer must carry at least one label")
+
+
+class AnswerMatrix:
+    """Sparse ``I × U`` matrix of label sets with vectorised export.
+
+    Parameters
+    ----------
+    n_items, n_workers, n_labels:
+        Sizes of the item, worker, and label index spaces.  Items, workers
+        and labels are referred to by integer index throughout the library
+        (names live on :class:`repro.data.dataset.CrowdDataset`).
+    """
+
+    def __init__(self, n_items: int, n_workers: int, n_labels: int) -> None:
+        for name, value in (
+            ("n_items", n_items),
+            ("n_workers", n_workers),
+            ("n_labels", n_labels),
+        ):
+            if int(value) != value or value <= 0:
+                raise ValidationError(f"{name} must be a positive integer, got {value}")
+        self.n_items = int(n_items)
+        self.n_workers = int(n_workers)
+        self.n_labels = int(n_labels)
+        self._entries: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        self._by_item: Dict[int, List[int]] = {}
+        self._by_worker: Dict[int, List[int]] = {}
+        self._arrays_cache: Tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ build
+
+    def _check_indices(self, item: int, worker: int) -> Tuple[int, int]:
+        item, worker = int(item), int(worker)
+        if not 0 <= item < self.n_items:
+            raise ValidationError(f"item index {item} out of range [0, {self.n_items})")
+        if not 0 <= worker < self.n_workers:
+            raise ValidationError(
+                f"worker index {worker} out of range [0, {self.n_workers})"
+            )
+        return item, worker
+
+    def _check_labels(self, labels: Iterable[int]) -> FrozenSet[int]:
+        label_set = frozenset(int(label) for label in labels)
+        if not label_set:
+            raise ValidationError("an answer must contain at least one label")
+        bad = [label for label in label_set if not 0 <= label < self.n_labels]
+        if bad:
+            raise ValidationError(
+                f"label indices {sorted(bad)} out of range [0, {self.n_labels})"
+            )
+        return label_set
+
+    def add(self, item: int, worker: int, labels: Iterable[int]) -> None:
+        """Record worker ``worker``'s answer for ``item``.
+
+        Overwrites any previous answer by the same worker for the same item
+        (a worker gives one answer per item in the paper's setting).
+        """
+        item, worker = self._check_indices(item, worker)
+        label_set = self._check_labels(labels)
+        if (item, worker) not in self._entries:
+            self._by_item.setdefault(item, []).append(worker)
+            self._by_worker.setdefault(worker, []).append(item)
+        self._entries[(item, worker)] = label_set
+        self._arrays_cache = None
+
+    def remove(self, item: int, worker: int) -> None:
+        """Delete the answer of ``worker`` for ``item`` (must exist)."""
+        item, worker = self._check_indices(item, worker)
+        if (item, worker) not in self._entries:
+            raise ValidationError(f"no answer recorded for item {item}, worker {worker}")
+        del self._entries[(item, worker)]
+        self._by_item[item].remove(worker)
+        if not self._by_item[item]:
+            del self._by_item[item]
+        self._by_worker[worker].remove(item)
+        if not self._by_worker[worker]:
+            del self._by_worker[worker]
+        self._arrays_cache = None
+
+    # ------------------------------------------------------------------ query
+
+    def get(self, item: int, worker: int) -> FrozenSet[int] | None:
+        """The label set for ``(item, worker)``, or ``None`` if unanswered."""
+        item, worker = self._check_indices(item, worker)
+        return self._entries.get((item, worker))
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return tuple(key) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def n_answers(self) -> int:
+        """Number of (item, worker) pairs with a recorded answer."""
+        return len(self._entries)
+
+    def workers_for_item(self, item: int) -> List[int]:
+        """Workers who answered ``item`` (paper's ``U_i``), in insertion order."""
+        item = int(item)
+        return list(self._by_item.get(item, []))
+
+    def items_for_worker(self, worker: int) -> List[int]:
+        """Items answered by ``worker``, in insertion order."""
+        worker = int(worker)
+        return list(self._by_worker.get(worker, []))
+
+    def answered_items(self) -> List[int]:
+        """Sorted list of items with at least one answer."""
+        return sorted(self._by_item)
+
+    def active_workers(self) -> List[int]:
+        """Sorted list of workers with at least one answer."""
+        return sorted(self._by_worker)
+
+    def iter_answers(self) -> Iterator[Answer]:
+        """Iterate over all answers in insertion order."""
+        for (item, worker), labels in self._entries.items():
+            yield Answer(item=item, worker=worker, labels=labels)
+
+    def sparsity(self) -> float:
+        """Fraction of the full ``I × U`` grid that is *unanswered*."""
+        return 1.0 - self.n_answers / (self.n_items * self.n_workers)
+
+    def label_counts(self) -> np.ndarray:
+        """How many answers include each label (length-``C`` vector)."""
+        counts = np.zeros(self.n_labels, dtype=int)
+        for labels in self._entries.values():
+            for label in labels:
+                counts[label] += 1
+        return counts
+
+    def cooccurrence_counts(self) -> np.ndarray:
+        """Symmetric ``C × C`` matrix of within-answer label co-occurrences.
+
+        The diagonal holds per-label answer counts; off-diagonal entry
+        ``(a, b)`` counts answers containing both ``a`` and ``b`` (the raw
+        statistic behind the paper's Fig 1 graph).
+        """
+        counts = np.zeros((self.n_labels, self.n_labels), dtype=int)
+        for labels in self._entries.values():
+            idx = sorted(labels)
+            for pos, a in enumerate(idx):
+                counts[a, a] += 1
+                for b in idx[pos + 1 :]:
+                    counts[a, b] += 1
+                    counts[b, a] += 1
+        return counts
+
+    # --------------------------------------------------------------- export
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten to ``(item_idx, worker_idx, label_indicators)`` arrays.
+
+        ``label_indicators`` is an ``(n_answers, C)`` float matrix of 0/1
+        rows — the representation consumed by the vectorised inference
+        kernels.  The result is cached until the matrix is next mutated.
+        """
+        if self._arrays_cache is None:
+            n = self.n_answers
+            items = np.empty(n, dtype=np.int64)
+            workers = np.empty(n, dtype=np.int64)
+            indicators = np.zeros((n, self.n_labels), dtype=np.float64)
+            for row, ((item, worker), labels) in enumerate(self._entries.items()):
+                items[row] = item
+                workers[row] = worker
+                indicators[row, sorted(labels)] = 1.0
+            self._arrays_cache = (items, workers, indicators)
+        items, workers, indicators = self._arrays_cache
+        return items, workers, indicators
+
+    # ----------------------------------------------------------- transform
+
+    def copy(self) -> "AnswerMatrix":
+        """Deep copy (label sets are immutable and shared)."""
+        clone = AnswerMatrix(self.n_items, self.n_workers, self.n_labels)
+        for (item, worker), labels in self._entries.items():
+            clone._entries[(item, worker)] = labels
+            clone._by_item.setdefault(item, []).append(worker)
+            clone._by_worker.setdefault(worker, []).append(item)
+        return clone
+
+    def subset(self, pairs: Iterable[Tuple[int, int]]) -> "AnswerMatrix":
+        """A new matrix containing only the given ``(item, worker)`` pairs."""
+        clone = AnswerMatrix(self.n_items, self.n_workers, self.n_labels)
+        for item, worker in pairs:
+            labels = self.get(item, worker)
+            if labels is None:
+                raise ValidationError(
+                    f"cannot subset: pair (item={item}, worker={worker}) not answered"
+                )
+            clone.add(item, worker, labels)
+        return clone
+
+    def merged_with(self, other: "AnswerMatrix") -> "AnswerMatrix":
+        """Union of two matrices over the same index spaces.
+
+        ``other`` wins on conflicting pairs; sizes must match exactly.
+        """
+        if (other.n_items, other.n_workers, other.n_labels) != (
+            self.n_items,
+            self.n_workers,
+            self.n_labels,
+        ):
+            raise ValidationError("cannot merge answer matrices of different shapes")
+        clone = self.copy()
+        for answer in other.iter_answers():
+            clone.add(answer.item, answer.worker, answer.labels)
+        return clone
+
+    @classmethod
+    def from_mapping(
+        cls,
+        n_items: int,
+        n_workers: int,
+        n_labels: int,
+        entries: Mapping[Tuple[int, int], Iterable[int]],
+    ) -> "AnswerMatrix":
+        """Build from a ``{(item, worker): labels}`` mapping."""
+        matrix = cls(n_items, n_workers, n_labels)
+        for (item, worker), labels in entries.items():
+            matrix.add(item, worker, labels)
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AnswerMatrix(items={self.n_items}, workers={self.n_workers}, "
+            f"labels={self.n_labels}, answers={self.n_answers})"
+        )

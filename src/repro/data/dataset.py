@@ -1,0 +1,187 @@
+"""Crowd datasets: answers + (possibly partial) ground truth + metadata.
+
+:class:`GroundTruth` is the deterministic assignment ``d : I → 2^Z`` the
+aggregation problem (paper Problem 1) tries to recover; it may be known for
+only a subset of items (test questions, paper §3.2's observed ``ȳ``).
+:class:`CrowdDataset` bundles the answer matrix with truth and with optional
+provenance metadata (true worker types and item clusters when the dataset
+came from the simulator), which the diagnostics experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.data.answers import AnswerMatrix
+from repro.errors import ValidationError
+
+
+class GroundTruth:
+    """Partial mapping from item index to its true label set."""
+
+    def __init__(self, n_items: int, n_labels: int) -> None:
+        if n_items <= 0 or n_labels <= 0:
+            raise ValidationError("n_items and n_labels must be positive")
+        self.n_items = int(n_items)
+        self.n_labels = int(n_labels)
+        self._truth: Dict[int, FrozenSet[int]] = {}
+
+    def set(self, item: int, labels: Iterable[int]) -> None:
+        """Record the true label set of ``item`` (must be non-empty)."""
+        item = int(item)
+        if not 0 <= item < self.n_items:
+            raise ValidationError(f"item index {item} out of range")
+        label_set = frozenset(int(label) for label in labels)
+        if not label_set:
+            raise ValidationError("a true label set must be non-empty")
+        bad = [label for label in label_set if not 0 <= label < self.n_labels]
+        if bad:
+            raise ValidationError(f"label indices {sorted(bad)} out of range")
+        self._truth[item] = label_set
+
+    def get(self, item: int) -> Optional[FrozenSet[int]]:
+        """True labels of ``item`` or ``None`` when unknown."""
+        return self._truth.get(int(item))
+
+    def __contains__(self, item: int) -> bool:
+        return int(item) in self._truth
+
+    def __len__(self) -> int:
+        return len(self._truth)
+
+    def items(self) -> Iterator[Tuple[int, FrozenSet[int]]]:
+        """Iterate ``(item, labels)`` pairs in sorted item order."""
+        for item in sorted(self._truth):
+            yield item, self._truth[item]
+
+    def known_items(self) -> List[int]:
+        """Sorted item indices with known truth."""
+        return sorted(self._truth)
+
+    def is_complete(self) -> bool:
+        """True when every item has known truth."""
+        return len(self._truth) == self.n_items
+
+    def restricted_to(self, items: Iterable[int]) -> "GroundTruth":
+        """A copy exposing truth only for ``items`` (simulates test questions)."""
+        keep = {int(i) for i in items}
+        out = GroundTruth(self.n_items, self.n_labels)
+        for item, labels in self._truth.items():
+            if item in keep:
+                out._truth[item] = labels
+        return out
+
+    def to_indicator_matrix(self) -> np.ndarray:
+        """Dense ``(I, C)`` 0/1 matrix; unknown items are all-zero rows."""
+        matrix = np.zeros((self.n_items, self.n_labels), dtype=np.float64)
+        for item, labels in self._truth.items():
+            matrix[item, sorted(labels)] = 1.0
+        return matrix
+
+    @classmethod
+    def from_mapping(
+        cls, n_items: int, n_labels: int, mapping: Mapping[int, Iterable[int]]
+    ) -> "GroundTruth":
+        """Build from ``{item: labels}``."""
+        truth = cls(n_items, n_labels)
+        for item, labels in mapping.items():
+            truth.set(item, labels)
+        return truth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GroundTruth(known={len(self)}/{self.n_items})"
+
+
+@dataclass
+class CrowdDataset:
+    """A complete partial-agreement crowdsourcing dataset.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset identifier (e.g. scenario name).
+    answers:
+        The sparse answer matrix ``M``.
+    truth:
+        Ground-truth label sets; may cover only part of the items.
+    label_names:
+        Optional display names, one per label index.
+    worker_types:
+        Optional provenance: the simulated archetype of each worker
+        (values from :class:`repro.workers.types.WorkerType`), used by the
+        community-diagnostics experiments and never by inference.
+    item_clusters:
+        Optional provenance: the generating item cluster of each item.
+    """
+
+    name: str
+    answers: AnswerMatrix
+    truth: GroundTruth
+    label_names: Optional[List[str]] = None
+    worker_types: Optional[List[str]] = None
+    item_clusters: Optional[List[int]] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.truth.n_items != self.answers.n_items:
+            raise ValidationError("truth and answers disagree on item count")
+        if self.truth.n_labels != self.answers.n_labels:
+            raise ValidationError("truth and answers disagree on label count")
+        if self.label_names is not None and len(self.label_names) != self.answers.n_labels:
+            raise ValidationError("label_names length must equal n_labels")
+        if self.worker_types is not None and len(self.worker_types) != self.answers.n_workers:
+            raise ValidationError("worker_types length must equal n_workers")
+        if self.item_clusters is not None and len(self.item_clusters) != self.answers.n_items:
+            raise ValidationError("item_clusters length must equal n_items")
+
+    # Convenience size accessors -------------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        return self.answers.n_items
+
+    @property
+    def n_workers(self) -> int:
+        return self.answers.n_workers
+
+    @property
+    def n_labels(self) -> int:
+        return self.answers.n_labels
+
+    @property
+    def n_answers(self) -> int:
+        return self.answers.n_answers
+
+    def label_name(self, label: int) -> str:
+        """Display name of ``label`` (falls back to ``label-<idx>``)."""
+        if self.label_names is not None:
+            return self.label_names[label]
+        return f"label-{label}"
+
+    def with_answers(self, answers: AnswerMatrix, suffix: str = "") -> "CrowdDataset":
+        """Clone this dataset with a different answer matrix.
+
+        Used by the perturbation tools (sparsify / spammer injection), which
+        modify answers but keep truth and metadata intact.  ``worker_types``
+        is preserved only when the worker space is unchanged.
+        """
+        same_workers = answers.n_workers == self.answers.n_workers
+        return CrowdDataset(
+            name=self.name + suffix,
+            answers=answers,
+            truth=self.truth,
+            label_names=self.label_names,
+            worker_types=self.worker_types if same_workers else None,
+            item_clusters=self.item_clusters,
+            extras=dict(self.extras),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CrowdDataset({self.name!r}, items={self.n_items}, "
+            f"workers={self.n_workers}, labels={self.n_labels}, "
+            f"answers={self.n_answers}, truth={len(self.truth)})"
+        )

@@ -1,0 +1,130 @@
+"""Dataset persistence: JSON round-trips and a flat CSV answer format.
+
+Two formats are supported:
+
+* **JSON** — the full :class:`~repro.data.dataset.CrowdDataset` including
+  ground truth and provenance metadata; lossless round-trip.
+* **CSV** — answers only, one row per ``(item, worker)`` pair with labels
+  joined by ``|``; the interchange format used when importing answers from
+  external crowdsourcing platforms.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.data.answers import AnswerMatrix
+from repro.data.dataset import CrowdDataset, GroundTruth
+from repro.errors import DataFormatError
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def dataset_to_dict(dataset: CrowdDataset) -> Dict[str, object]:
+    """Serialise ``dataset`` to a JSON-compatible dictionary."""
+    answers = [
+        {"item": a.item, "worker": a.worker, "labels": sorted(a.labels)}
+        for a in dataset.answers.iter_answers()
+    ]
+    truth = {str(item): sorted(labels) for item, labels in dataset.truth.items()}
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "n_items": dataset.n_items,
+        "n_workers": dataset.n_workers,
+        "n_labels": dataset.n_labels,
+        "answers": answers,
+        "truth": truth,
+        "label_names": dataset.label_names,
+        "worker_types": dataset.worker_types,
+        "item_clusters": dataset.item_clusters,
+    }
+
+
+def dataset_from_dict(payload: Dict[str, object]) -> CrowdDataset:
+    """Rebuild a :class:`CrowdDataset` from :func:`dataset_to_dict` output."""
+    try:
+        version = payload["format_version"]
+        if version != _FORMAT_VERSION:
+            raise DataFormatError(f"unsupported dataset format version: {version}")
+        n_items = int(payload["n_items"])  # type: ignore[arg-type]
+        n_workers = int(payload["n_workers"])  # type: ignore[arg-type]
+        n_labels = int(payload["n_labels"])  # type: ignore[arg-type]
+        matrix = AnswerMatrix(n_items, n_workers, n_labels)
+        for record in payload["answers"]:  # type: ignore[union-attr]
+            matrix.add(record["item"], record["worker"], record["labels"])
+        truth = GroundTruth(n_items, n_labels)
+        for item, labels in payload["truth"].items():  # type: ignore[union-attr]
+            truth.set(int(item), labels)
+        item_clusters = payload.get("item_clusters")
+        return CrowdDataset(
+            name=str(payload["name"]),
+            answers=matrix,
+            truth=truth,
+            label_names=payload.get("label_names"),  # type: ignore[arg-type]
+            worker_types=payload.get("worker_types"),  # type: ignore[arg-type]
+            item_clusters=list(item_clusters) if item_clusters is not None else None,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataFormatError(f"malformed dataset payload: {exc}") from exc
+
+
+def save_dataset_json(dataset: CrowdDataset, path: PathLike) -> None:
+    """Write ``dataset`` to ``path`` as JSON."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(dataset_to_dict(dataset), handle)
+
+
+def load_dataset_json(path: PathLike) -> CrowdDataset:
+    """Read a dataset previously written by :func:`save_dataset_json`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise DataFormatError(f"{path} is not valid JSON: {exc}") from exc
+    return dataset_from_dict(payload)
+
+
+def write_answers_csv(matrix: AnswerMatrix, path: PathLike) -> None:
+    """Write answers as CSV rows ``item,worker,label|label|...``."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["item", "worker", "labels"])
+        for answer in matrix.iter_answers():
+            writer.writerow(
+                [answer.item, answer.worker, "|".join(str(l) for l in sorted(answer.labels))]
+            )
+
+
+def read_answers_csv(
+    path: PathLike, n_items: int, n_workers: int, n_labels: int
+) -> AnswerMatrix:
+    """Read a CSV written by :func:`write_answers_csv` into a matrix.
+
+    The caller supplies the index-space sizes since the CSV carries only the
+    observed answers.
+    """
+    path = Path(path)
+    matrix = AnswerMatrix(n_items, n_workers, n_labels)
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["item", "worker", "labels"]:
+            raise DataFormatError(f"{path}: unexpected CSV header {header}")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise DataFormatError(f"{path}:{line_no}: expected 3 columns, got {len(row)}")
+            try:
+                labels = [int(part) for part in row[2].split("|") if part]
+                matrix.add(int(row[0]), int(row[1]), labels)
+            except (ValueError, DataFormatError) as exc:
+                raise DataFormatError(f"{path}:{line_no}: {exc}") from exc
+    return matrix

@@ -1,0 +1,141 @@
+"""Answer streams: the batched arrival model of paper §4.1.
+
+Online (SVI) inference consumes answers as "a series of batches b = 1, 2,
+...; each batch contains the answers of a fixed number of workers U_b for a
+set of items N_b".  :class:`AnswerStream` turns a static answer matrix into
+such a series, with three batching policies:
+
+* ``by_workers`` — the paper's policy: batches group whole workers.
+* ``by_answers`` — fixed answer-count batches in random arrival order (used
+  by the Fig-7 runtime study, where batch size is "100 answers").
+* ``by_fractions`` — cumulative arrival percentages (the Fig-6 x-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.answers import AnswerMatrix
+from repro.errors import ValidationError
+from repro.utils.random import RandomState, Seed
+
+
+@dataclass(frozen=True)
+class AnswerBatch:
+    """One arrival batch: the answers of workers ``workers`` on ``items``.
+
+    ``pairs`` holds the (item, worker) coordinates present in the batch;
+    ``matrix`` is a (sparse) answer matrix restricted to exactly those
+    pairs, over the *full* index spaces so parameters stay aligned.
+    """
+
+    index: int
+    workers: Tuple[int, ...]
+    items: Tuple[int, ...]
+    pairs: Tuple[Tuple[int, int], ...]
+    matrix: AnswerMatrix
+
+    @property
+    def n_answers(self) -> int:
+        return len(self.pairs)
+
+
+class AnswerStream:
+    """Deterministic, seeded batch decomposition of an answer matrix."""
+
+    def __init__(self, matrix: AnswerMatrix, seed: Seed = None) -> None:
+        self._matrix = matrix
+        self._rng = RandomState(seed)
+
+    # ------------------------------------------------------------------ policies
+
+    def by_workers(self, workers_per_batch: int) -> Iterator[AnswerBatch]:
+        """Batches of whole workers, in a random worker order."""
+        if workers_per_batch <= 0:
+            raise ValidationError("workers_per_batch must be positive")
+        order = np.array(self._matrix.active_workers(), dtype=int)
+        self._rng.shuffle(order)
+        for index, start in enumerate(range(0, order.size, workers_per_batch)):
+            chunk = order[start : start + workers_per_batch]
+            pairs = [
+                (item, int(worker))
+                for worker in chunk
+                for item in self._matrix.items_for_worker(int(worker))
+            ]
+            yield self._build_batch(index, pairs)
+
+    def by_answers(self, answers_per_batch: int) -> Iterator[AnswerBatch]:
+        """Fixed-size batches of individual answers in random arrival order."""
+        if answers_per_batch <= 0:
+            raise ValidationError("answers_per_batch must be positive")
+        pairs = [(a.item, a.worker) for a in self._matrix.iter_answers()]
+        order = np.arange(len(pairs))
+        self._rng.shuffle(order)
+        for index, start in enumerate(range(0, len(pairs), answers_per_batch)):
+            chunk = [pairs[i] for i in order[start : start + answers_per_batch]]
+            yield self._build_batch(index, chunk)
+
+    def by_fractions(self, fractions: Sequence[float]) -> Iterator[AnswerBatch]:
+        """Batches sized to cumulative arrival fractions (e.g. Fig 6's 10%…100%).
+
+        ``fractions`` must be strictly increasing in ``(0, 1]``; batch ``b``
+        carries the answers between cumulative cut ``b-1`` and ``b``.
+        """
+        fracs = [float(f) for f in fractions]
+        if not fracs or any(not 0 < f <= 1 for f in fracs):
+            raise ValidationError("fractions must lie in (0, 1]")
+        if any(b <= a for a, b in zip(fracs, fracs[1:])):
+            raise ValidationError("fractions must be strictly increasing")
+        pairs = [(a.item, a.worker) for a in self._matrix.iter_answers()]
+        order = np.arange(len(pairs))
+        self._rng.shuffle(order)
+        cuts = [0] + [int(round(f * len(pairs))) for f in fracs]
+        for index, (lo, hi) in enumerate(zip(cuts, cuts[1:])):
+            chunk = [pairs[i] for i in order[lo:hi]]
+            yield self._build_batch(index, chunk)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _build_batch(
+        self, index: int, pairs: List[Tuple[int, int]]
+    ) -> AnswerBatch:
+        submatrix = self._matrix.subset(pairs)
+        workers = tuple(sorted({worker for _, worker in pairs}))
+        items = tuple(sorted({item for item, _ in pairs}))
+        return AnswerBatch(
+            index=index,
+            workers=workers,
+            items=items,
+            pairs=tuple(pairs),
+            matrix=submatrix,
+        )
+
+
+def split_batch(batch: AnswerBatch, max_answers: int) -> List[AnswerBatch]:
+    """Split one batch into consecutive sub-batches of ``≤ max_answers``.
+
+    Used to feed large arrival increments to the SVI engine at the paper's
+    per-step batch size; the sub-batches partition the original pairs in
+    order, and sub-batch indices restart from the parent's index.
+    """
+    if max_answers <= 0:
+        raise ValidationError("max_answers must be positive")
+    if batch.n_answers <= max_answers:
+        return [batch]
+    out: List[AnswerBatch] = []
+    for offset, start in enumerate(range(0, batch.n_answers, max_answers)):
+        chunk = list(batch.pairs[start : start + max_answers])
+        submatrix = batch.matrix.subset(chunk)
+        out.append(
+            AnswerBatch(
+                index=batch.index + offset,
+                workers=tuple(sorted({worker for _, worker in chunk})),
+                items=tuple(sorted({item for item, _ in chunk})),
+                pairs=tuple(chunk),
+                matrix=submatrix,
+            )
+        )
+    return out

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors.  Warning categories for non-fatal conditions
+(e.g. an inference run that hits its iteration cap) are also defined here.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DataFormatError(ReproError):
+    """An input file, matrix, or record does not match the expected format."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A function argument violates its documented contract."""
+
+
+class InferenceError(ReproError):
+    """Model inference failed irrecoverably (e.g. non-finite parameters)."""
+
+
+class PredictionError(ReproError):
+    """Label-set prediction was requested from an unfitted or broken model."""
+
+
+class NotFittedError(PredictionError):
+    """An estimator method requiring a fitted model was called before fit."""
+
+
+class ExperimentError(ReproError):
+    """An experiment module was misconfigured or referenced an unknown id."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Inference stopped at the iteration cap before meeting its tolerance."""
+
+
+class NumericalWarning(UserWarning):
+    """A numerically delicate quantity was clamped to keep inference stable."""

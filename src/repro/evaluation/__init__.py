@@ -1,0 +1,27 @@
+"""Evaluation: set-based metrics (paper §5.1), multi-seed runners, reports."""
+
+from repro.evaluation.metrics import (
+    EvaluationResult,
+    delta_ratio,
+    evaluate_predictions,
+    item_precision_recall,
+)
+from repro.evaluation.runner import (
+    MethodScore,
+    average_scores,
+    evaluate_methods,
+    repeat_with_seeds,
+)
+from repro.evaluation.report import scores_table
+
+__all__ = [
+    "EvaluationResult",
+    "delta_ratio",
+    "evaluate_predictions",
+    "item_precision_recall",
+    "MethodScore",
+    "average_scores",
+    "evaluate_methods",
+    "repeat_with_seeds",
+    "scores_table",
+]

@@ -1,0 +1,57 @@
+"""Rendering evaluation results as paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.evaluation.runner import AveragedScore, MethodScore
+from repro.utils.tables import format_table
+
+
+def scores_table(
+    scores: Sequence[MethodScore], *, title: str | None = None
+) -> str:
+    """One dataset's method scores as an aligned table."""
+    rows = [
+        (s.method, s.precision, s.recall, s.f1, s.runtime_seconds)
+        for s in scores
+    ]
+    return format_table(
+        ("method", "precision", "recall", "F1", "runtime(s)"), rows, title=title
+    )
+
+
+def accuracy_matrix_table(
+    per_dataset: Mapping[str, Sequence[MethodScore]],
+    methods: Sequence[str],
+    *,
+    metric: str = "precision",
+    title: str | None = None,
+) -> str:
+    """Paper-Table-4 layout: datasets as rows, methods as columns."""
+    headers: List[str] = ["dataset", *methods]
+    rows = []
+    for dataset_name, scores in per_dataset.items():
+        by_method: Dict[str, MethodScore] = {s.method: s for s in scores}
+        row: List[object] = [dataset_name]
+        for method in methods:
+            score = by_method.get(method)
+            row.append(getattr(score, metric) if score else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def averaged_table(
+    averaged: Sequence[AveragedScore], *, title: str | None = None
+) -> str:
+    """Mean ± std scores (paper Table 5 layout)."""
+    rows = [
+        (
+            s.method,
+            f"{s.precision_mean:.3f} ±{s.precision_std:.2f}",
+            f"{s.recall_mean:.3f} ±{s.recall_std:.2f}",
+            s.n_runs,
+        )
+        for s in averaged
+    ]
+    return format_table(("method", "precision", "recall", "runs"), rows, title=title)

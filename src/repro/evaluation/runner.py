@@ -1,0 +1,121 @@
+"""Experiment execution helpers: run aggregators, repeat over seeds, average.
+
+The paper averages each measurement over shuffled re-runs ("we take the
+average result of 10 runs, in which the dataset is shuffled randomly",
+§5.1); :func:`repeat_with_seeds` is that loop, parameterised by a dataset
+factory so each repetition can re-draw the dataset, the perturbation, or
+both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines.base import Aggregator
+from repro.data.dataset import CrowdDataset
+from repro.errors import ValidationError
+from repro.evaluation.metrics import EvaluationResult, evaluate_predictions
+
+
+@dataclass(frozen=True)
+class MethodScore:
+    """One aggregator's evaluation on one dataset instance."""
+
+    method: str
+    precision: float
+    recall: float
+    runtime_seconds: float
+    n_items: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def evaluate_methods(
+    dataset: CrowdDataset,
+    methods: Sequence[Aggregator],
+    items: Sequence[int] | None = None,
+) -> List[MethodScore]:
+    """Run every aggregator on ``dataset`` and score it against the truth."""
+    if not methods:
+        raise ValidationError("methods must not be empty")
+    scores: List[MethodScore] = []
+    for method in methods:
+        start = time.perf_counter()
+        predictions = method.aggregate(dataset)
+        elapsed = time.perf_counter() - start
+        result: EvaluationResult = evaluate_predictions(
+            predictions, dataset.truth, items=items
+        )
+        scores.append(
+            MethodScore(
+                method=method.name,
+                precision=result.precision,
+                recall=result.recall,
+                runtime_seconds=elapsed,
+                n_items=result.n_items,
+            )
+        )
+    return scores
+
+
+def repeat_with_seeds(
+    make_dataset: Callable[[int], CrowdDataset],
+    methods_factory: Callable[[], Sequence[Aggregator]],
+    seeds: Sequence[int],
+) -> Dict[str, List[MethodScore]]:
+    """Repeat ``evaluate_methods`` over fresh datasets, one per seed.
+
+    ``methods_factory`` is called per repetition so stateful aggregators
+    (e.g. CPA keeping its last model) start clean.  Returns scores grouped
+    by method name, in seed order.
+    """
+    if not seeds:
+        raise ValidationError("seeds must not be empty")
+    grouped: Dict[str, List[MethodScore]] = {}
+    for seed in seeds:
+        dataset = make_dataset(int(seed))
+        for score in evaluate_methods(dataset, methods_factory()):
+            grouped.setdefault(score.method, []).append(score)
+    return grouped
+
+
+@dataclass(frozen=True)
+class AveragedScore:
+    """Mean ± standard deviation across repetitions."""
+
+    method: str
+    precision_mean: float
+    precision_std: float
+    recall_mean: float
+    recall_std: float
+    runtime_mean: float
+    n_runs: int
+
+
+def average_scores(grouped: Dict[str, List[MethodScore]]) -> List[AveragedScore]:
+    """Collapse grouped repetition scores into mean ± std summaries."""
+    averaged: List[AveragedScore] = []
+    for method, scores in grouped.items():
+        precisions = np.array([s.precision for s in scores])
+        recalls = np.array([s.recall for s in scores])
+        runtimes = np.array([s.runtime_seconds for s in scores])
+        averaged.append(
+            AveragedScore(
+                method=method,
+                precision_mean=float(precisions.mean()),
+                precision_std=float(precisions.std()),
+                recall_mean=float(recalls.mean()),
+                recall_std=float(recalls.std()),
+                runtime_mean=float(runtimes.mean()),
+                n_runs=len(scores),
+            )
+        )
+    return averaged

@@ -1,0 +1,47 @@
+"""Experiment modules — one per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...) -> ExperimentReport`` and registers itself
+under its experiment id (``table4``, ``fig3``, …).  Use::
+
+    from repro.experiments import run_experiment, list_experiments
+
+    report = run_experiment("table4", seeds=(0, 1, 2))
+    print(report.rendered())
+
+or ``python -m repro run table4`` from the command line.  The per-
+experiment index (workload, parameters, implementing modules) lives in
+DESIGN.md §5.
+"""
+
+from repro.experiments.registry import (
+    ExperimentReport,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+# Importing the modules registers them.
+from repro.experiments import (  # noqa: E402,F401  (registration side effect)
+    fig1_cooccurrence,
+    fig3_sparsity,
+    fig4_spammers,
+    fig5_label_dependency,
+    fig6_data_arrival,
+    fig7_runtime,
+    fig8_ablation,
+    fig9_communities,
+    fig10_worker_types,
+    table1_example,
+    table3_statistics,
+    table4_accuracy,
+    table5_online,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "ExperimentSpec",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,98 @@
+"""Fig 5 — effects of label dependencies (entity scenario).
+
+The paper quantifies the information a per-label method loses by ignoring
+label dependencies: missing true labels are randomly *added back* into
+worker answers that already contain a correct label (10%–30% of all
+missing labels), and each method's original performance is reported as a
+ratio of its performance on the enriched answers.  A method that already
+exploits dependencies gains little from the enrichment (Δ ≈ 1); a method
+that ignores them gains a lot (Δ far below 1 — the paper's baseline
+"loses nearly half of precision" at the 30% level).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines import CommunityBCCAggregator, CPAAggregator
+from repro.evaluation.metrics import delta_ratio, evaluate_predictions
+from repro.experiments.registry import ExperimentReport, register
+from repro.simulation.perturbations import inject_label_dependencies
+from repro.simulation.scenarios import make_scenario
+from repro.utils.tables import format_table
+
+
+@register("fig5", "Effects of label dependencies", "Figure 5")
+def run(
+    seeds: Sequence[int] = (0, 1),
+    scale: float = 1.0,
+    scenario: str = "entity",
+    levels: Sequence[float] = (0.10, 0.15, 0.20, 0.25, 0.30),
+) -> ExperimentReport:
+    """Sweep dependency-injection levels and report original/enriched ratios."""
+    series: Dict[str, Dict[str, List[float]]] = {
+        "cBCC": {"precision": [], "recall": []},
+        "CPA": {"precision": [], "recall": []},
+    }
+    for level in levels:
+        acc: Dict[str, Dict[str, List[float]]] = {
+            "cBCC": {"precision": [], "recall": []},
+            "CPA": {"precision": [], "recall": []},
+        }
+        for seed in seeds:
+            dataset = make_scenario(scenario, seed=int(seed), scale=scale)
+            enriched = inject_label_dependencies(dataset, level, seed=int(seed) + 331)
+            for method_factory in (CommunityBCCAggregator, CPAAggregator):
+                method = method_factory()
+                original = evaluate_predictions(
+                    method_factory().aggregate(dataset), dataset.truth
+                )
+                gained = evaluate_predictions(
+                    method.aggregate(enriched), dataset.truth
+                )
+                # Reverse ratio: original relative to the enriched answers.
+                acc[method.name]["precision"].append(
+                    delta_ratio(original.precision, gained.precision)
+                )
+                acc[method.name]["recall"].append(
+                    delta_ratio(original.recall, gained.recall)
+                )
+        for method_name, metrics in acc.items():
+            for metric, values in metrics.items():
+                series[method_name][metric].append(float(np.mean(values)))
+
+    tables = []
+    for metric in ("precision", "recall"):
+        rows = [
+            (
+                f"{level:.0%}",
+                series["cBCC"][metric][i],
+                series["CPA"][metric][i],
+            )
+            for i, level in enumerate(levels)
+        ]
+        tables.append(
+            format_table(
+                ("dependency level", "cBCC (baseline)", "CPA"),
+                rows,
+                title=f"Δ{metric} = original / enriched ({scenario})",
+            )
+        )
+
+    top = len(levels) - 1
+    gap_recall = series["CPA"]["recall"][top] - series["cBCC"]["recall"][top]
+    notes = [
+        "Ratios below 1 mean the method was losing that information by not "
+        "modelling label dependencies; CPA stays closer to 1 than the "
+        f"baseline (recall gap at {levels[top]:.0%}: {gap_recall:+.2f}).",
+    ]
+    return ExperimentReport(
+        experiment_id="fig5",
+        title="Effects of label dependencies",
+        paper_artefact="Figure 5",
+        tables=tables,
+        notes=notes,
+        data={"levels": list(levels), "series": series},
+    )

@@ -1,0 +1,130 @@
+"""Fig 9 — worker communities in the datasets (§5.5).
+
+The paper scatter-plots each worker's per-label sensitivity vs specificity
+for representative labels of the image and entity datasets, observing (i)
+multiple communities per label, (ii) different community structure across
+labels and datasets — the argument for nonparametric adaptivity (R4).
+Without plotting, we report the per-label operating-point distributions,
+the blob-count approximation of community number, and the communities the
+fitted CPA model actually infers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.config import CPAConfig
+from repro.core.diagnostics import (
+    community_summaries,
+    count_label_communities,
+    worker_operating_points,
+)
+from repro.core.model import CPAModel
+from repro.experiments.registry import ExperimentReport, register
+from repro.simulation.scenarios import make_scenario
+from repro.utils.tables import format_table
+
+
+def _busiest_labels(dataset, count: int) -> List[int]:
+    label_counts = dataset.answers.label_counts()
+    return [int(label) for label in np.argsort(-label_counts)[:count]]
+
+
+@register("fig9", "Worker communities in the datasets", "Figure 9")
+def run(
+    seed: int = 0,
+    scale: float = 1.0,
+    scenarios: Sequence[str] = ("image", "entity"),
+    labels_per_scenario: int = 2,
+) -> ExperimentReport:
+    """Characterise per-label worker communities on two scenarios."""
+    tables: List[str] = []
+    data: Dict[str, Dict[str, object]] = {}
+    for name in scenarios:
+        dataset = make_scenario(name, seed=seed, scale=scale)
+        labels = _busiest_labels(dataset, labels_per_scenario)
+
+        rows = []
+        blob_counts: Dict[int, int] = {}
+        for label in labels:
+            points = worker_operating_points(dataset, labels=[label], min_support=2)
+            blobs = count_label_communities(dataset, label, min_support=2)
+            blob_counts[label] = blobs
+            if points:
+                sens = [p.sensitivity for p in points]
+                spec = [p.specificity for p in points]
+                rows.append(
+                    (
+                        f"label-{label}",
+                        len(points),
+                        float(np.mean(sens)),
+                        float(np.std(sens)),
+                        float(np.mean(spec)),
+                        blobs,
+                    )
+                )
+        tables.append(
+            format_table(
+                ("label", "#workers", "sens mean", "sens std", "spec mean", "#communities"),
+                rows,
+                title=f"Per-label worker operating points ({name})",
+            )
+        )
+
+        model = CPAModel(CPAConfig(seed=seed)).fit(dataset)
+        summaries = community_summaries(model.state_, dataset)
+        summary_rows = [
+            (
+                s.community,
+                round(s.size, 1),
+                s.mean_sensitivity,
+                s.mean_specificity,
+                s.dominant_type or "-",
+            )
+            for s in sorted(summaries, key=lambda s: -s.size)[:8]
+        ]
+        tables.append(
+            format_table(
+                ("community", "size", "sens", "spec", "dominant type"),
+                summary_rows,
+                title=f"Inferred CPA communities ({name})",
+            )
+        )
+        data[name] = {
+            "blob_counts": blob_counts,
+            "n_inferred_communities": len(summaries),
+            "summaries": summaries,
+        }
+
+    multi_community = all(
+        any(count >= 2 for count in info["blob_counts"].values())  # type: ignore[union-attr]
+        for info in data.values()
+    )
+    differs = (
+        len(
+            {
+                info["n_inferred_communities"]  # type: ignore[index]
+                for info in data.values()
+            }
+        )
+        > 1
+    )
+    notes = [
+        "Multiple worker communities exist per label in both datasets."
+        if multi_community
+        else "WARNING: some dataset showed a single community per label.",
+        "Community structure differs across datasets, motivating the "
+        "nonparametric approach (R4)."
+        if differs
+        else "Inferred community counts happen to coincide across datasets.",
+    ]
+    return ExperimentReport(
+        experiment_id="fig9",
+        title="Worker communities in the datasets",
+        paper_artefact="Figure 9",
+        tables=tables,
+        notes=notes,
+        data=data,
+    )

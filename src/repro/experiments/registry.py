@@ -1,0 +1,95 @@
+"""Experiment registry: ids, metadata, and uniform execution.
+
+An *experiment* regenerates one artefact of the paper's evaluation (a
+table or a figure's data series).  Reports carry both rendered text tables
+(for humans / EXPERIMENTS.md) and the raw ``data`` dictionary (for tests
+and benchmarks to assert the expected qualitative shape)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ExperimentReport:
+    """Outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    paper_artefact: str
+    tables: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def rendered(self) -> str:
+        """Full plain-text report."""
+        parts = [f"== {self.experiment_id}: {self.title} ({self.paper_artefact}) =="]
+        parts.extend(self.tables)
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n\n".join(parts)
+
+
+Runner = Callable[..., ExperimentReport]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry for one experiment."""
+
+    experiment_id: str
+    title: str
+    paper_artefact: str
+    runner: Runner
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(experiment_id: str, title: str, paper_artefact: str) -> Callable[[Runner], Runner]:
+    """Decorator: register ``runner`` under ``experiment_id``."""
+
+    def decorator(runner: Runner) -> Runner:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = ExperimentSpec(
+            experiment_id=experiment_id,
+            title=title,
+            paper_artefact=paper_artefact,
+            runner=runner,
+        )
+        return runner
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up a registered experiment (raises on unknown ids)."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    """All registered experiments, sorted by id."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentReport:
+    """Run one experiment by id with keyword parameters."""
+    spec = get_experiment(experiment_id)
+    report = spec.runner(**kwargs)
+    if report.experiment_id != experiment_id:  # defensive consistency check
+        raise ExperimentError(
+            f"runner for {experiment_id!r} returned report for "
+            f"{report.experiment_id!r}"
+        )
+    return report

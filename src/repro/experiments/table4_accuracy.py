@@ -1,0 +1,111 @@
+"""Table 4 — overall accuracy of MV / EM / cBCC / CPA on all scenarios.
+
+The paper's headline comparison: precision and recall per dataset and
+method, averaged over shuffled runs, with no observed ground truth
+(``y = ∅``).  Expected shape: CPA highest on both metrics on every
+dataset; cBCC the strongest baseline; MV weakest on the difficult
+datasets; margins largest where labels are strongly correlated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    CommunityBCCAggregator,
+    CPAAggregator,
+    DawidSkeneAggregator,
+    MajorityVoteAggregator,
+)
+from repro.evaluation.runner import MethodScore, evaluate_methods
+from repro.experiments.registry import ExperimentReport, register
+from repro.simulation.scenarios import SCENARIO_NAMES, make_scenario
+from repro.utils.tables import format_table
+
+#: Paper Table 4: dataset -> method -> (precision, recall).
+PAPER_TABLE4 = {
+    "image": {"MV": (0.65, 0.57), "EM": (0.66, 0.62), "cBCC": (0.70, 0.63), "CPA": (0.81, 0.74)},
+    "topic": {"MV": (0.57, 0.54), "EM": (0.60, 0.54), "cBCC": (0.62, 0.55), "CPA": (0.79, 0.70)},
+    "aspect": {"MV": (0.52, 0.53), "EM": (0.61, 0.56), "cBCC": (0.65, 0.60), "CPA": (0.74, 0.64)},
+    "entity": {"MV": (0.63, 0.55), "EM": (0.57, 0.50), "cBCC": (0.60, 0.53), "CPA": (0.79, 0.70)},
+    "movie": {"MV": (0.61, 0.56), "EM": (0.74, 0.68), "cBCC": (0.78, 0.70), "CPA": (0.80, 0.73)},
+}
+
+METHOD_ORDER = ["MV", "EM", "cBCC", "CPA"]
+
+
+def _methods() -> list:
+    return [
+        MajorityVoteAggregator(),
+        DawidSkeneAggregator(),
+        CommunityBCCAggregator(),
+        CPAAggregator(),
+    ]
+
+
+@register("table4", "Overall accuracy", "Table 4")
+def run(
+    seeds: Sequence[int] = (0, 1, 2),
+    scale: float = 1.0,
+    scenarios: Sequence[str] = tuple(SCENARIO_NAMES),
+) -> ExperimentReport:
+    """Evaluate all methods on all scenarios, averaged over ``seeds``."""
+    means: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in scenarios:
+        per_method: Dict[str, List[MethodScore]] = {}
+        for seed in seeds:
+            dataset = make_scenario(name, seed=int(seed), scale=scale)
+            for score in evaluate_methods(dataset, _methods()):
+                per_method.setdefault(score.method, []).append(score)
+        means[name] = {
+            method: {
+                "precision": float(np.mean([s.precision for s in scores])),
+                "recall": float(np.mean([s.recall for s in scores])),
+            }
+            for method, scores in per_method.items()
+        }
+
+    def matrix_table(metric: str, title: str) -> str:
+        rows = [
+            (name, *(means[name][m][metric] for m in METHOD_ORDER))
+            for name in scenarios
+        ]
+        return format_table(("dataset", *METHOD_ORDER), rows, title=title)
+
+    def paper_table(metric_index: int, title: str) -> str:
+        rows = [
+            (name, *(PAPER_TABLE4[name][m][metric_index] for m in METHOD_ORDER))
+            for name in scenarios
+            if name in PAPER_TABLE4
+        ]
+        return format_table(("dataset", *METHOD_ORDER), rows, title=title)
+
+    cpa_wins = all(
+        means[name]["CPA"][metric] >= means[name][other][metric] - 1e-9
+        for name in scenarios
+        for metric in ("precision", "recall")
+        for other in ("MV", "cBCC")
+    )
+    notes = [
+        "CPA dominates MV and cBCC on precision and recall on every dataset."
+        if cpa_wins
+        else "WARNING: CPA did not dominate on every dataset for this seed set.",
+        "Per-label EM degrades sharply on the sparse/difficult datasets, the "
+        "failure mode the paper attributes to per-worker confusion estimation "
+        "under data sparsity (§6).",
+    ]
+    return ExperimentReport(
+        experiment_id="table4",
+        title="Overall accuracy",
+        paper_artefact="Table 4",
+        tables=[
+            matrix_table("precision", "Measured precision"),
+            matrix_table("recall", "Measured recall"),
+            paper_table(0, "Paper Table 4 precision (reference)"),
+            paper_table(1, "Paper Table 4 recall (reference)"),
+        ],
+        notes=notes,
+        data={"means": means, "cpa_dominates": cpa_wins, "methods": METHOD_ORDER},
+    )

@@ -1,0 +1,44 @@
+"""Crowd-simulation substrate.
+
+The paper evaluates on five CrowdFlower-labelled datasets (Table 3) that are
+not publicly redistributable; this package builds their synthetic
+equivalents (see DESIGN.md §3): label spaces with co-occurrence clusters
+(Fig 1), item-cluster-driven ground truth, heterogeneous worker populations
+(§5.1's simulation recipe), and the perturbation tools behind the
+robustness experiments (sparsity — Fig 3, spammer injection — Fig 4,
+label-dependency injection — Fig 5).
+"""
+
+from repro.simulation.generator import SimulationConfig, generate_dataset
+from repro.simulation.labelspace import LabelSpace, cooccurrence_graph
+from repro.simulation.perturbations import (
+    inject_label_dependencies,
+    inject_spammers,
+    reveal_truth_fraction,
+    sparsify,
+)
+from repro.simulation.scenarios import (
+    SCENARIO_NAMES,
+    large_scale_config,
+    make_scenario,
+    scenario_config,
+)
+from repro.simulation.truth import TruthModel, build_truth_model, sample_truth
+
+__all__ = [
+    "SimulationConfig",
+    "generate_dataset",
+    "LabelSpace",
+    "cooccurrence_graph",
+    "inject_label_dependencies",
+    "inject_spammers",
+    "reveal_truth_fraction",
+    "sparsify",
+    "SCENARIO_NAMES",
+    "large_scale_config",
+    "make_scenario",
+    "scenario_config",
+    "TruthModel",
+    "build_truth_model",
+    "sample_truth",
+]

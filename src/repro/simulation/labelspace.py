@@ -1,0 +1,163 @@
+"""Label spaces with cluster structure and co-occurrence graphs.
+
+Requirement R3 of the paper rests on labels being *correlated*: similar
+items share overlapping label sets, and the co-occurrence structure forms
+clusters (paper Fig 1 shows {sky, birds, cloud} vs {flower, road} in
+NUS-WIDE).  A :class:`LabelSpace` partitions labels into such clusters;
+:func:`cooccurrence_graph` recovers the empirical co-occurrence graph from
+answers, which the Fig-1 experiment renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.random import RandomState, Seed
+
+
+@dataclass(frozen=True)
+class LabelSpace:
+    """A label index space partitioned into co-occurrence clusters."""
+
+    n_labels: int
+    clusters: Tuple[Tuple[int, ...], ...]
+    names: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_labels <= 0:
+            raise ValidationError("n_labels must be positive")
+        seen: set[int] = set()
+        for cluster in self.clusters:
+            if not cluster:
+                raise ValidationError("label clusters must be non-empty")
+            for label in cluster:
+                if not 0 <= label < self.n_labels:
+                    raise ValidationError(f"label {label} out of range")
+                if label in seen:
+                    raise ValidationError(f"label {label} appears in two clusters")
+                seen.add(label)
+        if seen != set(range(self.n_labels)):
+            raise ValidationError("clusters must partition the label space")
+        if self.names is not None and len(self.names) != self.n_labels:
+            raise ValidationError("names length must equal n_labels")
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster_of(self, label: int) -> int:
+        """Index of the cluster containing ``label``."""
+        for index, cluster in enumerate(self.clusters):
+            if label in cluster:
+                return index
+        raise ValidationError(f"label {label} not in any cluster")
+
+    def cluster_assignment(self) -> np.ndarray:
+        """Length-``C`` vector mapping label → cluster index."""
+        assignment = np.empty(self.n_labels, dtype=int)
+        for index, cluster in enumerate(self.clusters):
+            for label in cluster:
+                assignment[label] = index
+        return assignment
+
+    def confusability(self, within: float = 3.0, across: float = 0.3) -> np.ndarray:
+        """``C × C`` confusion-plausibility matrix for answer synthesis.
+
+        Wrongly adding a label from the *same* cluster as a true label is
+        ``within / across`` times more plausible than a cross-cluster
+        mistake; the diagonal is zero (a true label cannot be its own false
+        positive).
+        """
+        if within <= 0 or across <= 0:
+            raise ValidationError("confusability weights must be positive")
+        assignment = self.cluster_assignment()
+        same = assignment[:, None] == assignment[None, :]
+        matrix = np.where(same, within, across).astype(float)
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+    @classmethod
+    def generate(
+        cls,
+        n_labels: int,
+        n_clusters: int,
+        seed: Seed = None,
+        names: Optional[Sequence[str]] = None,
+    ) -> "LabelSpace":
+        """Random balanced partition of ``n_labels`` into ``n_clusters``."""
+        if n_clusters <= 0 or n_clusters > n_labels:
+            raise ValidationError("need 1 <= n_clusters <= n_labels")
+        rng = RandomState(seed)
+        order = rng.permutation(n_labels)
+        buckets: List[List[int]] = [[] for _ in range(n_clusters)]
+        for position, label in enumerate(order):
+            buckets[position % n_clusters].append(int(label))
+        return cls(
+            n_labels=n_labels,
+            clusters=tuple(tuple(sorted(bucket)) for bucket in buckets),
+            names=tuple(names) if names is not None else None,
+        )
+
+    @classmethod
+    def trivial(cls, n_labels: int) -> "LabelSpace":
+        """Every label its own cluster — the *uncorrelated* limit."""
+        return cls(
+            n_labels=n_labels,
+            clusters=tuple((label,) for label in range(n_labels)),
+        )
+
+
+def cooccurrence_graph(
+    counts: np.ndarray,
+    *,
+    min_edge_weight: float = 0.05,
+    label_names: Optional[Sequence[str]] = None,
+) -> nx.Graph:
+    """Build the Fig-1 style co-occurrence graph from a count matrix.
+
+    ``counts`` is the symmetric matrix from
+    :meth:`repro.data.answers.AnswerMatrix.cooccurrence_counts` (diagonal =
+    per-label occurrence cardinality).  Edge weights are normalised
+    co-occurrence strengths ``count(a, b) / min(count(a), count(b))``; edges
+    weaker than ``min_edge_weight`` are dropped.  Node attribute ``size``
+    holds the occurrence cardinality, matching the figure's vertex sizes.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+        raise ValidationError("counts must be a square matrix")
+    n = counts.shape[0]
+    graph = nx.Graph()
+    for label in range(n):
+        name = label_names[label] if label_names is not None else str(label)
+        graph.add_node(label, name=name, size=float(counts[label, label]))
+    for a in range(n):
+        for b in range(a + 1, n):
+            if counts[a, b] <= 0:
+                continue
+            denom = min(counts[a, a], counts[b, b])
+            if denom <= 0:
+                continue
+            weight = counts[a, b] / denom
+            if weight >= min_edge_weight:
+                graph.add_edge(a, b, weight=float(weight))
+    return graph
+
+
+def detected_label_clusters(graph: nx.Graph, *, min_weight: float = 0.25) -> List[set]:
+    """Connected components of the thresholded co-occurrence graph.
+
+    A cheap structural check used in tests and the Fig-1 experiment: with
+    strong within-cluster co-occurrence, components recover the generating
+    label clusters.
+    """
+    strong = nx.Graph()
+    strong.add_nodes_from(graph.nodes)
+    for a, b, data in graph.edges(data=True):
+        if data.get("weight", 0.0) >= min_weight:
+            strong.add_edge(a, b)
+    return [set(component) for component in nx.connected_components(strong)]

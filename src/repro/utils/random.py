@@ -1,0 +1,68 @@
+"""Random-number plumbing.
+
+Every stochastic component in the library takes either an integer seed or a
+:class:`numpy.random.Generator`; :func:`RandomState` canonicalises both, and
+:func:`spawn_rngs` derives statistically independent child generators so that
+multi-stage simulations (population → truth → answers) stay reproducible
+even when individual stages change how much randomness they consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+Seed = Union[int, np.random.Generator, None]
+
+
+def RandomState(seed: Seed = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an ``int``, or an existing generator
+    (returned unchanged, so callers can thread one generator through a
+    pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: Seed, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Children are produced via :class:`numpy.random.SeedSequence` spawning,
+    which guarantees independence regardless of how much randomness each
+    child consumes.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if seq is None:  # pragma: no cover - non-default bit generators
+            seq = np.random.SeedSequence(int(seed.integers(2**63)))
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def choice_without_replacement(
+    rng: np.random.Generator,
+    candidates: Iterable[int],
+    size: int,
+    probabilities: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Sample ``size`` distinct elements, tolerating ``size > len(candidates)``.
+
+    Convenience wrapper used by the simulators: when more draws are requested
+    than candidates exist, all candidates are returned (shuffled).
+    """
+    pool = np.fromiter(candidates, dtype=int)
+    if size >= pool.size:
+        out = pool.copy()
+        rng.shuffle(out)
+        return out
+    if probabilities is not None:
+        probabilities = np.asarray(probabilities, dtype=float)
+        probabilities = probabilities / probabilities.sum()
+    return rng.choice(pool, size=size, replace=False, p=probabilities)

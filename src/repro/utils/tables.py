@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment modules print tables mirroring the paper's (Table 3, 4, 5 and
+the per-figure series).  This renderer keeps the output terminal-friendly
+and diffable: fixed-width columns, a header rule, and stable float
+formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ValidationError
+
+
+def _render_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Floats are formatted with ``float_format``; all other values via
+    ``str``.  Raises :class:`ValidationError` on ragged rows so layout bugs
+    surface immediately instead of producing shifted columns.
+    """
+    headers = [str(h) for h in headers]
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = [_render_cell(value, float_format) for value in row]
+        if len(cells) != len(headers):
+            raise ValidationError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns"
+            )
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for col, cell in enumerate(cells):
+            widths[col] = max(widths[col], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(cells) for cells in rendered)
+    return "\n".join(parts)
+
+
+def format_kv_block(pairs: Sequence[tuple[str, object]], *, indent: int = 2) -> str:
+    """Render key/value pairs as an aligned block (used in summaries)."""
+    if not pairs:
+        return ""
+    width = max(len(str(key)) for key, _ in pairs)
+    pad = " " * indent
+    return "\n".join(f"{pad}{str(k).ljust(width)} : {v}" for k, v in pairs)

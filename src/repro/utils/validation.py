@@ -1,0 +1,74 @@
+"""Argument-contract helpers.
+
+Small, explicit checks that raise :class:`repro.errors.ValidationError` with
+actionable messages.  Used at public API boundaries; internal hot loops trust
+their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def check_type(name: str, value: Any, expected: Type | tuple[Type, ...]) -> Any:
+    """Raise unless ``value`` is an instance of ``expected``; return it."""
+    if not isinstance(value, expected):
+        names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise ValidationError(
+            f"{name} must be {names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Raise unless ``value`` is a positive (or non-negative) finite number."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: float, inclusive: bool = True) -> float:
+    """Raise unless ``value`` lies in ``[0, 1]`` (or ``(0, 1)`` if exclusive)."""
+    value = float(value)
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValidationError(f"{name} must lie in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValidationError(f"{name} must lie in (0, 1), got {value}")
+    return value
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, *, integral: bool = False
+) -> float:
+    """Raise unless ``low <= value <= high`` (optionally integral)."""
+    if integral and int(value) != value:
+        raise ValidationError(f"{name} must be an integer, got {value}")
+    if not low <= value <= high:
+        raise ValidationError(f"{name} must lie in [{low}, {high}], got {value}")
+    return value
+
+
+def check_probability_matrix(name: str, matrix: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Raise unless rows of ``matrix`` along ``axis`` are valid distributions."""
+    matrix = np.asarray(matrix, dtype=float)
+    if np.any(matrix < -1e-9) or np.any(matrix > 1 + 1e-9):
+        raise ValidationError(f"{name} entries must lie in [0, 1]")
+    sums = matrix.sum(axis=axis)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        raise ValidationError(f"{name} rows must sum to 1 along axis {axis}")
+    return matrix

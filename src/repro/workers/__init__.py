@@ -1,0 +1,21 @@
+"""Worker substrate: archetypes, populations, and answer behaviour.
+
+Implements the worker taxonomy of paper §2.1 (reliable, normal, sloppy,
+uniform spammer, random spammer), the population mixtures of §5.1
+(α% reliable, β% sloppy, γ% spammers split evenly between uniform and
+random), and the per-label two-coin behaviour model of Appendix A used to
+synthesise partially-sound, partially-complete answers.
+"""
+
+from repro.workers.behavior import AnswerBehavior, expected_operating_point
+from repro.workers.population import PopulationSpec, sample_population
+from repro.workers.types import WorkerProfile, WorkerType
+
+__all__ = [
+    "AnswerBehavior",
+    "expected_operating_point",
+    "PopulationSpec",
+    "sample_population",
+    "WorkerProfile",
+    "WorkerType",
+]

@@ -1,0 +1,210 @@
+"""Answer synthesis: turning a worker profile + true labels into an answer.
+
+This is the generative side of the two-coin model (Appendix A), lifted to
+the partial-agreement setting: for an honest worker, each truly-present
+label is included with the worker's per-label *sensitivity*, and a
+Poisson-distributed number of false-positive labels is added, optionally
+biased towards labels that co-occur with the true ones (so mistakes are
+*plausible* rather than uniform — this is what makes the multi-label
+aggregation problem hard in practice and in the paper's datasets).
+
+Spammers ignore the truth entirely: uniform spammers emit their fixed set,
+random spammers a truth-blind random subset.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.workers.types import WorkerProfile, WorkerType
+
+
+class AnswerBehavior:
+    """Stateless answer generator for a fixed label-space size.
+
+    Parameters
+    ----------
+    n_labels:
+        Size of the label space ``C``.
+    confusability:
+        Optional ``C × C`` non-negative matrix; entry ``(a, b)`` scores how
+        plausible it is to *wrongly* add label ``b`` when ``a`` is truly
+        present.  When given, false positives are drawn proportionally to
+        the summed confusability with the item's true labels (plus a small
+        uniform floor); when omitted, false positives are uniform over the
+        absent labels.
+    """
+
+    def __init__(
+        self, n_labels: int, confusability: Optional[np.ndarray] = None
+    ) -> None:
+        if n_labels <= 0:
+            raise ValidationError("n_labels must be positive")
+        self.n_labels = int(n_labels)
+        if confusability is not None:
+            confusability = np.asarray(confusability, dtype=float)
+            if confusability.shape != (n_labels, n_labels):
+                raise ValidationError("confusability must be C x C")
+            if np.any(confusability < 0):
+                raise ValidationError("confusability must be non-negative")
+        self.confusability = confusability
+
+    # ------------------------------------------------------------------ public
+
+    def generate(
+        self,
+        profile: WorkerProfile,
+        true_labels: FrozenSet[int] | Sequence[int],
+        rng: np.random.Generator,
+        *,
+        sensitivity_scale: float = 1.0,
+    ) -> FrozenSet[int]:
+        """Generate one (non-empty) answer for an item with ``true_labels``.
+
+        ``sensitivity_scale`` models per-*item* difficulty: a hard item
+        degrades every honest worker's recognition simultaneously, which
+        correlates their errors (the independence violation per-label
+        aggregators are blind to).
+        """
+        truth = frozenset(int(label) for label in true_labels)
+        if any(not 0 <= label < self.n_labels for label in truth):
+            raise ValidationError("true label index out of range")
+        if not 0.0 < sensitivity_scale <= 1.0:
+            raise ValidationError("sensitivity_scale must lie in (0, 1]")
+
+        if profile.worker_type is WorkerType.UNIFORM_SPAMMER:
+            return self._clip_to_space(profile.fixed_answer or frozenset())
+        if profile.worker_type is WorkerType.RANDOM_SPAMMER:
+            return self._random_subset(profile.random_inclusion, rng)
+        return self._honest_answer(profile, truth, rng, sensitivity_scale)
+
+    # ----------------------------------------------------------------- internals
+
+    def _clip_to_space(self, labels: FrozenSet[int]) -> FrozenSet[int]:
+        clipped = frozenset(label for label in labels if 0 <= label < self.n_labels)
+        if not clipped:
+            raise ValidationError("uniform spammer answer lies outside the label space")
+        return clipped
+
+    def _random_subset(
+        self, inclusion: float, rng: np.random.Generator
+    ) -> FrozenSet[int]:
+        mask = rng.random(self.n_labels) < inclusion
+        if not mask.any():
+            mask[rng.integers(self.n_labels)] = True
+        return frozenset(int(label) for label in np.flatnonzero(mask))
+
+    def _honest_answer(
+        self,
+        profile: WorkerProfile,
+        truth: FrozenSet[int],
+        rng: np.random.Generator,
+        sensitivity_scale: float,
+    ) -> FrozenSet[int]:
+        sensitivity = np.asarray(profile.sensitivity, dtype=float)
+        if sensitivity.size != self.n_labels:
+            raise ValidationError(
+                f"profile built for {sensitivity.size} labels, behaviour for {self.n_labels}"
+            )
+        recognised = {
+            label
+            for label in truth
+            if rng.random() < sensitivity[label] * sensitivity_scale
+        }
+
+        # Confusion substitution: a recognised label may be reported as a
+        # confusable neighbour instead (partially-sound answers whose false
+        # positives are *correlated* with the truth of related labels).
+        included: set[int] = set()
+        for label in recognised:
+            if profile.confusion_prob > 0 and rng.random() < profile.confusion_prob:
+                substitute = self._confused_label(label, truth, rng)
+                included.add(substitute)
+            else:
+                included.add(label)
+
+        absent = np.array(
+            [label for label in range(self.n_labels) if label not in truth], dtype=int
+        )
+        if absent.size and profile.fp_mean > 0:
+            n_fp = min(int(rng.poisson(profile.fp_mean)), absent.size)
+            if n_fp:
+                weights = self._false_positive_weights(truth, absent)
+                chosen = rng.choice(absent, size=n_fp, replace=False, p=weights)
+                included.update(int(label) for label in chosen)
+
+        # Attention budget: workers stop after listing a few labels, so
+        # rich items receive systematically incomplete answers.
+        if profile.attention_budget and len(included) > profile.attention_budget:
+            pool = np.fromiter(included, dtype=int)
+            keep = rng.choice(pool, size=profile.attention_budget, replace=False)
+            included = {int(label) for label in keep}
+
+        if not included:
+            # Workers must submit something; fall back to the single most
+            # plausible label (their highest-sensitivity true label, or a
+            # uniformly random one when the truth set is empty).
+            if truth:
+                best = max(truth, key=lambda label: sensitivity[label])
+                included.add(best)
+            else:
+                included.add(int(rng.integers(self.n_labels)))
+        return frozenset(included)
+
+    def _confused_label(
+        self, label: int, truth: FrozenSet[int], rng: np.random.Generator
+    ) -> int:
+        """A plausible substitute for ``label`` (prefers confusable labels)."""
+        candidates = np.array(
+            [c for c in range(self.n_labels) if c != label and c not in truth],
+            dtype=int,
+        )
+        if candidates.size == 0:
+            return label
+        if self.confusability is not None:
+            scores = self.confusability[label, candidates]
+            total = scores.sum()
+            if total > 0:
+                return int(rng.choice(candidates, p=scores / total))
+        return int(rng.choice(candidates))
+
+    def _false_positive_weights(
+        self, truth: FrozenSet[int], absent: np.ndarray
+    ) -> Optional[np.ndarray]:
+        if self.confusability is None or not truth:
+            return None
+        truth_idx = np.fromiter(truth, dtype=int)
+        scores = self.confusability[truth_idx][:, absent].sum(axis=0)
+        scores = scores + 0.05 * (scores.sum() / max(absent.size, 1) + 1e-9)
+        total = scores.sum()
+        if total <= 0:
+            return None
+        return scores / total
+
+
+def expected_operating_point(
+    profile: WorkerProfile, n_labels: int, typical_truth_size: float = 2.0
+) -> tuple[float, float]:
+    """Expected (sensitivity, specificity) of a profile — Fig 10's axes.
+
+    For honest workers this is the mean per-label sensitivity and the
+    specificity implied by the expected false-positive count.  For spammers
+    the operating point reflects their truth-blind behaviour: near-zero
+    effective sensitivity beyond chance for uniform spammers (they hit a
+    true label only when their fixed set intersects it) and
+    chance-level sensitivity equal to the inclusion rate for random ones.
+    """
+    if profile.worker_type is WorkerType.UNIFORM_SPAMMER:
+        fixed = len(profile.fixed_answer or frozenset())
+        hit_chance = min(1.0, fixed * typical_truth_size / n_labels)
+        specificity = 1.0 - fixed / max(n_labels - typical_truth_size, 1.0)
+        return hit_chance, float(np.clip(specificity, 0.0, 1.0))
+    if profile.worker_type is WorkerType.RANDOM_SPAMMER:
+        return profile.random_inclusion, 1.0 - profile.random_inclusion
+    sensitivity = float(np.mean(profile.sensitivity))
+    denom = max(n_labels - typical_truth_size, 1.0)
+    specificity = float(np.clip(1.0 - profile.fp_mean / denom, 0.0, 1.0))
+    return sensitivity, specificity

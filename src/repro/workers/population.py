@@ -1,0 +1,141 @@
+"""Worker population mixtures (paper §5.1).
+
+The paper simulates crowds as "α% reliable workers, β% sloppy workers and
+γ% spammers (γ/2% random spammers and γ/2% uniform spammers)" with defaults
+α = 43, β = 32, γ = 25, calibrated against studies of real platforms
+([22], [28]).  :class:`PopulationSpec` generalises this to an arbitrary
+mixture over the five archetypes, and :func:`sample_population` instantiates
+a concrete list of worker profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.random import RandomState, Seed
+from repro.workers.types import WorkerProfile, WorkerType, sample_profile
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """A mixture over worker archetypes; fractions must sum to one."""
+
+    mixture: Dict[WorkerType, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.mixture:
+            raise ValidationError("mixture must not be empty")
+        total = 0.0
+        for worker_type, fraction in self.mixture.items():
+            if not isinstance(worker_type, WorkerType):
+                raise ValidationError(f"mixture key {worker_type!r} is not a WorkerType")
+            if fraction < 0:
+                raise ValidationError("mixture fractions must be non-negative")
+            total += fraction
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValidationError(f"mixture fractions must sum to 1, got {total}")
+
+    @classmethod
+    def paper_default(cls) -> "PopulationSpec":
+        """The §5.1 default: 43% reliable-ish, 32% sloppy, 25% spammers.
+
+        The paper folds "normal" workers into the reliable share for its
+        simulation recipe; we keep both honest sub-types so community
+        structure has something to find, splitting the 43% evenly.
+        """
+        return cls(
+            {
+                WorkerType.RELIABLE: 0.22,
+                WorkerType.NORMAL: 0.21,
+                WorkerType.SLOPPY: 0.32,
+                WorkerType.UNIFORM_SPAMMER: 0.125,
+                WorkerType.RANDOM_SPAMMER: 0.125,
+            }
+        )
+
+    @classmethod
+    def from_alpha_beta_gamma(
+        cls, alpha: float, beta: float, gamma: float, *, normal_share: float = 0.5
+    ) -> "PopulationSpec":
+        """Build a spec from the paper's (α, β, γ) percentages.
+
+        ``alpha + beta + gamma`` must equal 100.  ``normal_share`` is the
+        portion of the α bucket realised as *normal* (vs. reliable) workers.
+        """
+        if not np.isclose(alpha + beta + gamma, 100.0, atol=1e-6):
+            raise ValidationError("alpha + beta + gamma must equal 100")
+        for name, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if value < 0:
+                raise ValidationError(f"{name} must be non-negative")
+        if not 0 <= normal_share <= 1:
+            raise ValidationError("normal_share must lie in [0, 1]")
+        return cls(
+            {
+                WorkerType.RELIABLE: alpha / 100.0 * (1 - normal_share),
+                WorkerType.NORMAL: alpha / 100.0 * normal_share,
+                WorkerType.SLOPPY: beta / 100.0,
+                WorkerType.UNIFORM_SPAMMER: gamma / 200.0,
+                WorkerType.RANDOM_SPAMMER: gamma / 200.0,
+            }
+        )
+
+    @classmethod
+    def spammers_only(cls) -> "PopulationSpec":
+        """Pure spammer population (used by the Fig-4 injection tool)."""
+        return cls(
+            {WorkerType.UNIFORM_SPAMMER: 0.5, WorkerType.RANDOM_SPAMMER: 0.5}
+        )
+
+    def spammer_fraction(self) -> float:
+        """Total mass on the two spammer archetypes."""
+        return sum(
+            fraction
+            for worker_type, fraction in self.mixture.items()
+            if worker_type.is_spammer
+        )
+
+
+def sample_population(
+    spec: PopulationSpec,
+    n_workers: int,
+    n_labels: int,
+    seed: Seed = None,
+    *,
+    typical_answer_size: float = 2.0,
+) -> List[WorkerProfile]:
+    """Draw ``n_workers`` profiles according to ``spec``.
+
+    Type counts are assigned by largest-remainder apportionment so the
+    realised mixture matches the spec as closely as integer counts allow,
+    then the type sequence is shuffled so worker index carries no type
+    information.
+    """
+    if n_workers <= 0:
+        raise ValidationError("n_workers must be positive")
+    rng = RandomState(seed)
+
+    types = list(spec.mixture)
+    fractions = np.array([spec.mixture[t] for t in types], dtype=float)
+    raw = fractions * n_workers
+    counts = np.floor(raw).astype(int)
+    remainder = n_workers - counts.sum()
+    if remainder > 0:
+        order = np.argsort(-(raw - counts))
+        for index in order[:remainder]:
+            counts[index] += 1
+
+    assigned: List[WorkerType] = []
+    for worker_type, count in zip(types, counts):
+        assigned.extend([worker_type] * int(count))
+    rng.shuffle(assigned)  # type: ignore[arg-type]
+
+    return [
+        sample_profile(
+            worker_type, n_labels, rng, typical_answer_size=typical_answer_size
+        )
+        for worker_type in assigned
+    ]

@@ -1,0 +1,190 @@
+"""Worker archetypes and per-worker behavioural profiles.
+
+The paper distinguishes five worker types (§2.1):
+
+1. *Reliable* — deep domain knowledge, almost always correct;
+2. *Normal* — mostly correct with occasional mistakes;
+3. *Sloppy* — little knowledge, frequently wrong but unintentionally so;
+4. *Uniform spammers* — give the same answer to every question;
+5. *Random spammers* — give random answers.
+
+A :class:`WorkerProfile` captures one concrete worker's behaviour in the
+per-label two-coin parameterisation of Appendix A: a per-label
+*sensitivity* (probability of including a label that is truly present) and
+an expected number of *false-positive* labels per answer (which, for a
+candidate pool of size ``C``, corresponds to per-label specificity
+``1 - fp_mean / (C - |Y|)``).  Spammer profiles carry their degenerate
+behaviour explicitly (a fixed answer set, or a label-blind inclusion rate).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class WorkerType(str, enum.Enum):
+    """The five archetypes of paper §2.1."""
+
+    RELIABLE = "reliable"
+    NORMAL = "normal"
+    SLOPPY = "sloppy"
+    UNIFORM_SPAMMER = "uniform_spammer"
+    RANDOM_SPAMMER = "random_spammer"
+
+    @property
+    def is_spammer(self) -> bool:
+        """True for the two faulty archetypes."""
+        return self in (WorkerType.UNIFORM_SPAMMER, WorkerType.RANDOM_SPAMMER)
+
+    @property
+    def is_honest(self) -> bool:
+        """True for workers whose answers track the true labels at all."""
+        return not self.is_spammer
+
+
+#: Default (sensitivity range, false-positive-count range) per honest type.
+#: Sensitivity ranges follow the qualitative ordering of Appendix A / Fig 10;
+#: false-positive counts are expected *extra* labels per answer.
+TYPE_PARAMETER_RANGES = {
+    WorkerType.RELIABLE: ((0.85, 0.98), (0.0, 0.4)),
+    WorkerType.NORMAL: ((0.68, 0.86), (0.2, 0.9)),
+    WorkerType.SLOPPY: ((0.35, 0.60), (0.8, 2.2)),
+}
+
+#: Probability that an honest worker *substitutes* a recognised true label
+#: with a confusable neighbour (e.g. tagging "sun" as "sky").  Substitution
+#: couples false positives to the truth of correlated labels — the error
+#: structure that breaks per-label independence assumptions and motivates
+#: CPA's joint treatment of labels (paper §1, §2.1).
+TYPE_CONFUSION_RANGES = {
+    WorkerType.RELIABLE: (0.02, 0.06),
+    WorkerType.NORMAL: (0.08, 0.18),
+    WorkerType.SLOPPY: (0.18, 0.32),
+}
+
+#: Attention budgets: honest workers list at most this many labels per
+#: answer, so items with rich label sets get systematically *incomplete*
+#: answers ("partially-complete", paper §1) — a missing label is then weak
+#: evidence of absence, exactly the effect the paper warns per-label
+#: decompositions mishandle.
+TYPE_BUDGET_RANGES = {
+    WorkerType.RELIABLE: (4, 8),
+    WorkerType.NORMAL: (3, 6),
+    WorkerType.SLOPPY: (2, 4),
+}
+
+#: Per-label jitter (std. dev.) applied around a worker's base sensitivity,
+#: modelling per-label expertise differences (requirement R2 / Fig 9).
+TYPE_SENSITIVITY_JITTER = {
+    WorkerType.RELIABLE: 0.03,
+    WorkerType.NORMAL: 0.08,
+    WorkerType.SLOPPY: 0.12,
+}
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """Concrete behaviour parameters for one worker.
+
+    Attributes
+    ----------
+    worker_type:
+        The archetype this profile instantiates.
+    sensitivity:
+        Per-label inclusion probability for truly-present labels
+        (length-``C``; meaningful for honest types only).
+    fp_mean:
+        Expected number of false-positive labels added per answer
+        (honest types only).
+    confusion_prob:
+        Probability of substituting a recognised true label with a
+        confusable neighbour (honest types only).
+    attention_budget:
+        Maximum labels the worker lists per answer (0 = unlimited).
+    fixed_answer:
+        The constant answer of a uniform spammer (``None`` otherwise).
+    random_inclusion:
+        Per-label, truth-blind inclusion probability of a random spammer
+        (0 otherwise).
+    """
+
+    worker_type: WorkerType
+    sensitivity: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    fp_mean: float = 0.0
+    confusion_prob: float = 0.0
+    attention_budget: int = 0
+    fixed_answer: Optional[FrozenSet[int]] = None
+    random_inclusion: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.worker_type is WorkerType.UNIFORM_SPAMMER:
+            if not self.fixed_answer:
+                raise ValidationError("uniform spammer requires a fixed answer set")
+        elif self.worker_type is WorkerType.RANDOM_SPAMMER:
+            if not 0 < self.random_inclusion < 1:
+                raise ValidationError("random spammer inclusion must lie in (0, 1)")
+        else:
+            sens = np.asarray(self.sensitivity, dtype=float)
+            if sens.ndim != 1 or sens.size == 0:
+                raise ValidationError("honest profiles need a per-label sensitivity vector")
+            if np.any(sens < 0) or np.any(sens > 1):
+                raise ValidationError("sensitivities must lie in [0, 1]")
+            if self.fp_mean < 0:
+                raise ValidationError("fp_mean must be non-negative")
+            if not 0.0 <= self.confusion_prob <= 1.0:
+                raise ValidationError("confusion_prob must lie in [0, 1]")
+            if self.attention_budget < 0:
+                raise ValidationError("attention_budget must be non-negative")
+
+    @property
+    def n_labels(self) -> int:
+        """Size of the label space the profile was built for."""
+        if self.worker_type is WorkerType.UNIFORM_SPAMMER:
+            return max(self.fixed_answer) + 1 if self.fixed_answer else 0
+        return int(np.asarray(self.sensitivity).size)
+
+
+def sample_profile(
+    worker_type: WorkerType,
+    n_labels: int,
+    rng: np.random.Generator,
+    *,
+    typical_answer_size: float = 2.0,
+) -> WorkerProfile:
+    """Draw a random :class:`WorkerProfile` of the given archetype.
+
+    ``typical_answer_size`` calibrates spammer answer sizes so that faulty
+    answers are not trivially identifiable by length alone.
+    """
+    if n_labels <= 0:
+        raise ValidationError("n_labels must be positive")
+    if worker_type is WorkerType.UNIFORM_SPAMMER:
+        size = max(1, int(round(rng.uniform(1.0, max(1.0, typical_answer_size)))))
+        labels = rng.choice(n_labels, size=min(size, n_labels), replace=False)
+        return WorkerProfile(
+            worker_type=worker_type, fixed_answer=frozenset(int(l) for l in labels)
+        )
+    if worker_type is WorkerType.RANDOM_SPAMMER:
+        inclusion = min(0.9, max(1e-3, typical_answer_size / n_labels))
+        return WorkerProfile(worker_type=worker_type, random_inclusion=float(inclusion))
+
+    (sens_lo, sens_hi), (fp_lo, fp_hi) = TYPE_PARAMETER_RANGES[worker_type]
+    base = rng.uniform(sens_lo, sens_hi)
+    jitter = TYPE_SENSITIVITY_JITTER[worker_type]
+    sensitivity = np.clip(base + rng.normal(0.0, jitter, size=n_labels), 0.05, 0.995)
+    fp_mean = rng.uniform(fp_lo, fp_hi)
+    conf_lo, conf_hi = TYPE_CONFUSION_RANGES[worker_type]
+    budget_lo, budget_hi = TYPE_BUDGET_RANGES[worker_type]
+    return WorkerProfile(
+        worker_type=worker_type,
+        sensitivity=sensitivity,
+        fp_mean=float(fp_mean),
+        confusion_prob=float(rng.uniform(conf_lo, conf_hi)),
+        attention_budget=int(rng.integers(budget_lo, budget_hi + 1)),
+    )

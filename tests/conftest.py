@@ -1,0 +1,89 @@
+"""Shared fixtures: tiny deterministic datasets and fitted models.
+
+Expensive artefacts (generated scenarios, fitted CPA models) are session-
+scoped so the suite stays fast; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.config import CPAConfig
+from repro.core.model import CPAModel
+from repro.data.answers import AnswerMatrix
+from repro.data.dataset import CrowdDataset, GroundTruth
+from repro.errors import ConvergenceWarning
+from repro.simulation.generator import SimulationConfig, generate_dataset
+
+
+@pytest.fixture(autouse=True)
+def _silence_convergence_warnings():
+    """Iteration-cap warnings are expected on deliberately tiny configs."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", ConvergenceWarning)
+        yield
+
+
+def tiny_config(name: str = "tiny", **overrides) -> SimulationConfig:
+    """A fast simulation config used across the suite."""
+    defaults = dict(
+        name=name,
+        n_items=60,
+        n_workers=30,
+        n_labels=12,
+        n_label_clusters=4,
+        n_item_clusters=5,
+        labels_per_item_mean=2.0,
+        max_labels_per_item=5,
+        answers_per_item=5,
+        correlation_strength=0.9,
+        difficulty=0.2,
+        worker_skew="normal",
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> CrowdDataset:
+    """A deterministic 60-item crowd dataset (read-only)."""
+    return generate_dataset(tiny_config(), seed=123)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_dataset: CrowdDataset) -> CPAModel:
+    """A CPA model fitted on :func:`tiny_dataset` (read-only)."""
+    config = CPAConfig(seed=1, max_iterations=40)
+    return CPAModel(config).fit(tiny_dataset)
+
+
+@pytest.fixture()
+def micro_matrix() -> AnswerMatrix:
+    """A hand-built 4-item, 3-worker, 5-label answer matrix."""
+    matrix = AnswerMatrix(4, 3, 5)
+    matrix.add(0, 0, {0, 1})
+    matrix.add(0, 1, {1})
+    matrix.add(1, 0, {2, 3})
+    matrix.add(1, 2, {2})
+    matrix.add(2, 1, {4})
+    matrix.add(3, 2, {0, 4})
+    return matrix
+
+
+@pytest.fixture()
+def micro_truth() -> GroundTruth:
+    """Ground truth matching :func:`micro_matrix`."""
+    truth = GroundTruth(4, 5)
+    truth.set(0, {0, 1})
+    truth.set(1, {2, 3})
+    truth.set(2, {4})
+    truth.set(3, {0, 4})
+    return truth
+
+
+@pytest.fixture()
+def micro_dataset(micro_matrix: AnswerMatrix, micro_truth: GroundTruth) -> CrowdDataset:
+    """Dataset wrapper around the micro matrix/truth pair."""
+    return CrowdDataset(name="micro", answers=micro_matrix, truth=micro_truth)

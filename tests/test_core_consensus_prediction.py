@@ -1,0 +1,238 @@
+"""Tests for consensus estimation, MAP prediction, and diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.config import CPAConfig
+from repro.core.consensus import (
+    community_discriminability,
+    community_label_rates,
+    estimate_consensus,
+)
+from repro.core.diagnostics import (
+    community_summaries,
+    count_label_communities,
+    worker_operating_points,
+)
+from repro.core.prediction import (
+    exhaustive_map_labels,
+    greedy_map_labels,
+    item_evidence,
+    label_probabilities,
+    predict_items,
+)
+from repro.errors import PredictionError, ValidationError
+
+
+class TestConsensus:
+    def test_consensus_shapes(self, tiny_model, tiny_dataset):
+        consensus = tiny_model.consensus_
+        state = tiny_model.state_
+        assert consensus.inclusion.shape == (state.n_clusters, state.n_labels)
+        assert np.all(consensus.inclusion > 0) and np.all(consensus.inclusion < 1)
+        np.testing.assert_allclose(consensus.cluster_weights.sum(), 1.0)
+        assert consensus.label_rates is not None
+
+    def test_discriminability_bounds(self, tiny_model):
+        disc = community_discriminability(tiny_model.state_)
+        assert np.all(disc >= 0) and np.all(disc <= 1)
+
+    def test_spammer_communities_downweighted(self, tiny_model, tiny_dataset):
+        consensus = tiny_model.consensus_
+        communities = tiny_model.worker_communities()
+        weights = consensus.community_weights
+        spam_w, honest_w = [], []
+        for worker, worker_type in enumerate(tiny_dataset.worker_types):
+            target = spam_w if worker_type.endswith("spammer") else honest_w
+            target.append(weights[communities[worker]])
+        assert np.mean(honest_w) > np.mean(spam_w)
+
+    def test_label_rates_spammers_uninformative(self, tiny_model, tiny_dataset):
+        rates = tiny_model.consensus_.label_rates
+        communities = tiny_model.worker_communities()
+        gaps = {"spam": [], "honest": []}
+        for worker, worker_type in enumerate(tiny_dataset.worker_types):
+            m = communities[worker]
+            gap = float(np.mean(rates.sensitivity[m] - rates.false_rate[m]))
+            gaps["spam" if worker_type.endswith("spammer") else "honest"].append(gap)
+        assert np.mean(gaps["honest"]) > np.mean(gaps["spam"])
+
+    def test_consensus_true_labels_ranked_higher(self, tiny_model, tiny_dataset):
+        consensus = tiny_model.consensus_
+        clusters = tiny_model.item_clusters()
+        true_vals, false_vals = [], []
+        for item in range(tiny_dataset.n_items):
+            truth = tiny_dataset.truth.get(item)
+            row = consensus.inclusion[clusters[item]]
+            for label in range(tiny_dataset.n_labels):
+                (true_vals if label in truth else false_vals).append(row[label])
+        assert np.mean(true_vals) > np.mean(false_vals) + 0.2
+
+    def test_empty_rates_without_answers(self, tiny_model):
+        from repro.data.answers import AnswerMatrix
+
+        empty = AnswerMatrix(
+            tiny_model.state_.n_items,
+            tiny_model.state_.n_workers,
+            tiny_model.state_.n_labels,
+        )
+        rates = community_label_rates(
+            tiny_model.state_, tiny_model.consensus_.inclusion, empty
+        )
+        np.testing.assert_allclose(rates.sensitivity, 0.5)
+
+
+class TestGreedySearch:
+    def test_simple_inclusion(self):
+        inclusion = np.array([[0.9, 0.8, 0.05]])
+        detail = greedy_map_labels(np.array([0.0]), inclusion)
+        assert detail.labels == frozenset({0, 1})
+
+    def test_empty_when_nothing_likely(self):
+        inclusion = np.array([[0.1, 0.2, 0.3]])
+        detail = greedy_map_labels(np.array([0.0]), inclusion)
+        assert detail.labels == frozenset()
+
+    def test_max_labels_cap(self):
+        inclusion = np.array([[0.9, 0.9, 0.9, 0.9]])
+        detail = greedy_map_labels(np.array([0.0]), inclusion, max_labels=2)
+        assert len(detail.labels) == 2
+
+    def test_cluster_mixture_respected(self):
+        # Two clusters with disjoint label profiles; weights pick cluster 1.
+        inclusion = np.array([[0.9, 0.05], [0.05, 0.9]])
+        detail = greedy_map_labels(np.log(np.array([1e-6, 1.0])), inclusion)
+        assert detail.labels == frozenset({1})
+        assert detail.cluster_weights[1] > 0.9
+
+    def test_evidence_shifts_decision(self):
+        inclusion = np.array([[0.3, 0.3]])
+        no_evidence = greedy_map_labels(np.array([0.0]), inclusion)
+        assert no_evidence.labels == frozenset()
+        pushed = greedy_map_labels(
+            np.array([0.0]), inclusion, evidence=np.array([3.0, -3.0])
+        )
+        assert pushed.labels == frozenset({0})
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PredictionError):
+            greedy_map_labels(np.zeros(2), np.full((3, 4), 0.5))
+
+    @given(
+        hnp.arrays(float, (3, 6), elements=st.floats(0.05, 0.95)),
+        hnp.arrays(float, 3, elements=st.floats(-3, 3)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_never_beats_exhaustive(self, inclusion, log_w):
+        greedy = greedy_map_labels(log_w, inclusion)
+        exact = exhaustive_map_labels(log_w, inclusion)
+        assert greedy.log_objective <= exact.log_objective + 1e-9
+
+    @given(
+        hnp.arrays(float, (2, 5), elements=st.floats(0.05, 0.95)),
+        hnp.arrays(float, 2, elements=st.floats(-2, 2)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_objective_valid(self, inclusion, log_w):
+        detail = greedy_map_labels(log_w, inclusion)
+        assert np.isfinite(detail.log_objective)
+        np.testing.assert_allclose(detail.cluster_weights.sum(), 1.0, atol=1e-6)
+
+
+class TestExhaustiveSearch:
+    def test_matches_manual_enumeration(self):
+        inclusion = np.array([[0.8, 0.3]])
+        detail = exhaustive_map_labels(np.array([0.0]), inclusion)
+        assert detail.labels == frozenset({0})
+
+    def test_limit_enforced(self):
+        with pytest.raises(PredictionError):
+            exhaustive_map_labels(np.zeros(1), np.full((1, 20), 0.5), limit=16)
+
+
+class TestPredictPipeline:
+    def test_predict_items_covers_all_answered(self, tiny_model, tiny_dataset):
+        details = predict_items(
+            tiny_model.state_,
+            tiny_model.consensus_,
+            tiny_dataset.answers,
+            tiny_model.config,
+        )
+        assert set(details) == set(tiny_dataset.answers.answered_items())
+
+    def test_item_evidence_zero_without_rates(self, tiny_model, tiny_dataset):
+        from dataclasses import replace
+
+        bare = replace(tiny_model.consensus_, label_rates=None)
+        evidence = item_evidence(tiny_model.state_, bare, tiny_dataset.answers, [0, 1])
+        np.testing.assert_array_equal(evidence, 0.0)
+
+    def test_label_probabilities_in_unit_interval(self, tiny_model, tiny_dataset):
+        probs = label_probabilities(
+            tiny_model.state_, tiny_model.consensus_, tiny_dataset.answers
+        )
+        assert probs.shape == (tiny_dataset.n_items, tiny_dataset.n_labels)
+        assert np.all(probs > 0) and np.all(probs < 1)
+
+    def test_probabilities_rank_true_labels_higher(self, tiny_model, tiny_dataset):
+        items = tiny_dataset.answers.answered_items()
+        probs = label_probabilities(
+            tiny_model.state_, tiny_model.consensus_, tiny_dataset.answers, items
+        )
+        true_mean, false_mean = [], []
+        for row, item in enumerate(items):
+            truth = tiny_dataset.truth.get(item)
+            for label in range(tiny_dataset.n_labels):
+                (true_mean if label in truth else false_mean).append(probs[row, label])
+        assert np.mean(true_mean) > np.mean(false_mean) + 0.3
+
+
+class TestDiagnostics:
+    def test_operating_points_need_truth(self, tiny_dataset):
+        from repro.data.dataset import CrowdDataset, GroundTruth
+
+        stripped = CrowdDataset(
+            name="no-truth",
+            answers=tiny_dataset.answers,
+            truth=GroundTruth(tiny_dataset.n_items, tiny_dataset.n_labels),
+        )
+        with pytest.raises(ValidationError):
+            worker_operating_points(stripped)
+
+    def test_pooled_points_bounds(self, tiny_dataset):
+        points = worker_operating_points(tiny_dataset)
+        assert points
+        for point in points:
+            assert 0 <= point.sensitivity <= 1
+            assert 0 <= point.specificity <= 1
+
+    def test_reliable_above_spammers(self, tiny_dataset):
+        points = {p.worker: p for p in worker_operating_points(tiny_dataset)}
+        by_type: dict = {}
+        for worker, point in points.items():
+            by_type.setdefault(tiny_dataset.worker_types[worker], []).append(
+                point.sensitivity
+            )
+        assert np.mean(by_type["reliable"]) > np.mean(
+            by_type.get("random_spammer", [0.0])
+        )
+
+    def test_community_summaries(self, tiny_model, tiny_dataset):
+        summaries = community_summaries(tiny_model.state_, tiny_dataset)
+        assert summaries
+        total_members = sum(len(s.members) for s in summaries)
+        assert total_members == tiny_dataset.n_workers
+        for summary in summaries:
+            assert summary.size > 0
+            if summary.type_histogram:
+                assert summary.dominant_type in summary.type_histogram
+
+    def test_count_label_communities(self, tiny_dataset):
+        busiest = int(np.argmax(tiny_dataset.answers.label_counts()))
+        count = count_label_communities(tiny_dataset, busiest, min_support=1)
+        assert count >= 1
+        with pytest.raises(ValidationError):
+            count_label_communities(tiny_dataset, busiest, grid=0.0)

@@ -1,0 +1,177 @@
+"""Tests for the answer matrix substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.answers import Answer, AnswerMatrix
+from repro.errors import ValidationError
+
+
+class TestAnswerRecord:
+    def test_rejects_empty_labels(self):
+        with pytest.raises(ValidationError):
+            Answer(item=0, worker=0, labels=frozenset())
+
+
+class TestAnswerMatrixBasics:
+    def test_sizes_validated(self):
+        with pytest.raises(ValidationError):
+            AnswerMatrix(0, 1, 1)
+        with pytest.raises(ValidationError):
+            AnswerMatrix(1, 1, -2)
+
+    def test_add_and_get(self, micro_matrix):
+        assert micro_matrix.get(0, 0) == frozenset({0, 1})
+        assert micro_matrix.get(2, 0) is None
+        assert (0, 0) in micro_matrix
+        assert len(micro_matrix) == 6
+
+    def test_add_overwrites(self, micro_matrix):
+        micro_matrix.add(0, 0, {4})
+        assert micro_matrix.get(0, 0) == frozenset({4})
+        assert micro_matrix.n_answers == 6  # still one answer per pair
+
+    def test_out_of_range_indices(self, micro_matrix):
+        with pytest.raises(ValidationError):
+            micro_matrix.add(4, 0, {0})
+        with pytest.raises(ValidationError):
+            micro_matrix.add(0, 3, {0})
+        with pytest.raises(ValidationError):
+            micro_matrix.add(0, 0, {5})
+
+    def test_empty_answer_rejected(self, micro_matrix):
+        with pytest.raises(ValidationError):
+            micro_matrix.add(0, 2, [])
+
+    def test_remove(self, micro_matrix):
+        micro_matrix.remove(0, 0)
+        assert micro_matrix.get(0, 0) is None
+        assert 0 not in micro_matrix.items_for_worker(0)
+        with pytest.raises(ValidationError):
+            micro_matrix.remove(0, 0)
+
+    def test_indices(self, micro_matrix):
+        assert micro_matrix.workers_for_item(0) == [0, 1]
+        assert micro_matrix.items_for_worker(2) == [1, 3]
+        assert micro_matrix.answered_items() == [0, 1, 2, 3]
+        assert micro_matrix.active_workers() == [0, 1, 2]
+
+    def test_sparsity(self, micro_matrix):
+        assert micro_matrix.sparsity() == pytest.approx(1 - 6 / 12)
+
+    def test_label_counts(self, micro_matrix):
+        counts = micro_matrix.label_counts()
+        assert counts.tolist() == [2, 2, 2, 1, 2]
+
+    def test_cooccurrence_counts_symmetric(self, micro_matrix):
+        counts = micro_matrix.cooccurrence_counts()
+        assert (counts == counts.T).all()
+        assert counts[0, 1] == 1  # labels 0,1 co-occur once (item 0, worker 0)
+        assert counts[0, 0] == 2  # label 0 appears in two answers
+
+
+class TestArraysExport:
+    def test_roundtrip_shapes(self, micro_matrix):
+        items, workers, indicators = micro_matrix.to_arrays()
+        assert items.shape == workers.shape == (6,)
+        assert indicators.shape == (6, 5)
+        assert set(indicators.ravel().tolist()) <= {0.0, 1.0}
+
+    def test_indicator_rows_match_sets(self, micro_matrix):
+        items, workers, indicators = micro_matrix.to_arrays()
+        for row in range(items.size):
+            labels = frozenset(np.flatnonzero(indicators[row]).tolist())
+            assert labels == micro_matrix.get(int(items[row]), int(workers[row]))
+
+    def test_cache_invalidation_on_mutation(self, micro_matrix):
+        first = micro_matrix.to_arrays()
+        micro_matrix.add(2, 0, {3})
+        second = micro_matrix.to_arrays()
+        assert second[0].size == first[0].size + 1
+
+
+class TestTransforms:
+    def test_copy_independent(self, micro_matrix):
+        clone = micro_matrix.copy()
+        clone.add(2, 0, {1})
+        assert micro_matrix.get(2, 0) is None
+        assert clone.n_answers == micro_matrix.n_answers + 1
+
+    def test_subset(self, micro_matrix):
+        sub = micro_matrix.subset([(0, 0), (1, 2)])
+        assert sub.n_answers == 2
+        assert sub.get(0, 0) == micro_matrix.get(0, 0)
+
+    def test_subset_missing_pair_rejected(self, micro_matrix):
+        with pytest.raises(ValidationError):
+            micro_matrix.subset([(2, 0)])
+
+    def test_merge(self, micro_matrix):
+        other = AnswerMatrix(4, 3, 5)
+        other.add(2, 0, {2})
+        other.add(0, 0, {4})  # conflict: other wins
+        merged = micro_matrix.merged_with(other)
+        assert merged.get(2, 0) == frozenset({2})
+        assert merged.get(0, 0) == frozenset({4})
+        # originals untouched
+        assert micro_matrix.get(0, 0) == frozenset({0, 1})
+
+    def test_merge_shape_mismatch(self, micro_matrix):
+        with pytest.raises(ValidationError):
+            micro_matrix.merged_with(AnswerMatrix(5, 3, 5))
+
+    def test_from_mapping(self):
+        matrix = AnswerMatrix.from_mapping(2, 2, 3, {(0, 0): [0], (1, 1): [1, 2]})
+        assert matrix.n_answers == 2
+        assert matrix.get(1, 1) == frozenset({1, 2})
+
+
+@st.composite
+def random_entries(draw):
+    n_items = draw(st.integers(1, 6))
+    n_workers = draw(st.integers(1, 5))
+    n_labels = draw(st.integers(1, 6))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_items - 1), st.integers(0, n_workers - 1)
+            ),
+            unique=True,
+            max_size=12,
+        )
+    )
+    entries = {}
+    for pair in pairs:
+        labels = draw(
+            st.sets(st.integers(0, n_labels - 1), min_size=1, max_size=n_labels)
+        )
+        entries[pair] = labels
+    return n_items, n_workers, n_labels, entries
+
+
+class TestAnswerMatrixProperties:
+    @given(random_entries())
+    @settings(max_examples=50, deadline=None)
+    def test_export_roundtrip(self, spec):
+        n_items, n_workers, n_labels, entries = spec
+        matrix = AnswerMatrix.from_mapping(n_items, n_workers, n_labels, entries)
+        assert matrix.n_answers == len(entries)
+        items, workers, indicators = matrix.to_arrays()
+        rebuilt = {
+            (int(i), int(u)): frozenset(np.flatnonzero(x).tolist())
+            for i, u, x in zip(items, workers, indicators)
+        }
+        assert rebuilt == {k: frozenset(v) for k, v in entries.items()}
+
+    @given(random_entries())
+    @settings(max_examples=30, deadline=None)
+    def test_index_consistency(self, spec):
+        n_items, n_workers, n_labels, entries = spec
+        matrix = AnswerMatrix.from_mapping(n_items, n_workers, n_labels, entries)
+        for item in matrix.answered_items():
+            for worker in matrix.workers_for_item(item):
+                assert matrix.get(item, worker) is not None
+        total = sum(len(matrix.items_for_worker(u)) for u in matrix.active_workers())
+        assert total == matrix.n_answers

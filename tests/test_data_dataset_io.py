@@ -1,0 +1,213 @@
+"""Tests for GroundTruth, CrowdDataset, loaders, statistics, and streams."""
+
+import numpy as np
+import pytest
+
+from repro.data.answers import AnswerMatrix
+from repro.data.dataset import CrowdDataset, GroundTruth
+from repro.data.loaders import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset_json,
+    read_answers_csv,
+    save_dataset_json,
+    write_answers_csv,
+)
+from repro.data.statistics import compute_statistics
+from repro.data.streams import AnswerStream, split_batch
+from repro.errors import DataFormatError, ValidationError
+
+
+class TestGroundTruth:
+    def test_set_get(self, micro_truth):
+        assert micro_truth.get(0) == frozenset({0, 1})
+        assert micro_truth.get(0) is not None
+        assert 0 in micro_truth and len(micro_truth) == 4
+
+    def test_unknown_item_none(self):
+        truth = GroundTruth(3, 2)
+        assert truth.get(1) is None
+        assert not truth.is_complete()
+
+    def test_validation(self):
+        truth = GroundTruth(2, 2)
+        with pytest.raises(ValidationError):
+            truth.set(5, {0})
+        with pytest.raises(ValidationError):
+            truth.set(0, [])
+        with pytest.raises(ValidationError):
+            truth.set(0, {7})
+
+    def test_restriction(self, micro_truth):
+        restricted = micro_truth.restricted_to([1, 3])
+        assert restricted.get(0) is None
+        assert restricted.get(1) == micro_truth.get(1)
+        assert len(restricted) == 2
+
+    def test_indicator_matrix(self, micro_truth):
+        matrix = micro_truth.to_indicator_matrix()
+        assert matrix.shape == (4, 5)
+        assert matrix[0].tolist() == [1, 1, 0, 0, 0]
+
+    def test_from_mapping(self):
+        truth = GroundTruth.from_mapping(2, 3, {0: [1], 1: [0, 2]})
+        assert truth.is_complete()
+
+
+class TestCrowdDataset:
+    def test_shape_checks(self, micro_matrix):
+        with pytest.raises(ValidationError):
+            CrowdDataset(name="bad", answers=micro_matrix, truth=GroundTruth(5, 5))
+        with pytest.raises(ValidationError):
+            CrowdDataset(
+                name="bad",
+                answers=micro_matrix,
+                truth=GroundTruth(4, 5),
+                label_names=["a"],
+            )
+
+    def test_accessors(self, micro_dataset):
+        assert micro_dataset.n_items == 4
+        assert micro_dataset.n_workers == 3
+        assert micro_dataset.n_labels == 5
+        assert micro_dataset.n_answers == 6
+        assert micro_dataset.label_name(2) == "label-2"
+
+    def test_with_answers_preserves_metadata(self, micro_dataset):
+        new_matrix = micro_dataset.answers.copy()
+        new_matrix.add(2, 0, {0})
+        updated = micro_dataset.with_answers(new_matrix, suffix="+x")
+        assert updated.name.endswith("+x")
+        assert updated.n_answers == 7
+        assert updated.truth is micro_dataset.truth
+
+
+class TestJsonRoundtrip:
+    def test_dict_roundtrip(self, tiny_dataset):
+        payload = dataset_to_dict(tiny_dataset)
+        rebuilt = dataset_from_dict(payload)
+        assert rebuilt.n_answers == tiny_dataset.n_answers
+        assert rebuilt.worker_types == tiny_dataset.worker_types
+        assert rebuilt.item_clusters == tiny_dataset.item_clusters
+        for item, labels in tiny_dataset.truth.items():
+            assert rebuilt.truth.get(item) == labels
+        for answer in tiny_dataset.answers.iter_answers():
+            assert rebuilt.answers.get(answer.item, answer.worker) == answer.labels
+
+    def test_file_roundtrip(self, micro_dataset, tmp_path):
+        path = tmp_path / "d.json"
+        save_dataset_json(micro_dataset, path)
+        rebuilt = load_dataset_json(path)
+        assert rebuilt.name == "micro"
+        assert rebuilt.n_answers == micro_dataset.n_answers
+
+    def test_malformed_payload(self):
+        with pytest.raises(DataFormatError):
+            dataset_from_dict({"format_version": 99})
+        with pytest.raises(DataFormatError):
+            dataset_from_dict({"format_version": 1, "name": "x"})
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            load_dataset_json(path)
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, micro_matrix, tmp_path):
+        path = tmp_path / "answers.csv"
+        write_answers_csv(micro_matrix, path)
+        rebuilt = read_answers_csv(path, 4, 3, 5)
+        assert rebuilt.n_answers == micro_matrix.n_answers
+        for answer in micro_matrix.iter_answers():
+            assert rebuilt.get(answer.item, answer.worker) == answer.labels
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,z\n1,1,0\n", encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            read_answers_csv(path, 2, 2, 2)
+
+    def test_bad_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("item,worker,labels\n0,0,notalabel\n", encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            read_answers_csv(path, 2, 2, 2)
+
+
+class TestStatistics:
+    def test_micro_statistics(self, micro_dataset):
+        stats = compute_statistics(micro_dataset)
+        assert stats.n_questions == 4
+        assert stats.n_workers_active == 3
+        assert stats.n_answers == 6
+        assert stats.answers_per_item_mean == pytest.approx(1.5)
+        assert 0 <= stats.sparsity <= 1
+        assert stats.labels_per_item_truth_mean == pytest.approx(7 / 4)
+
+    def test_tiny_dataset_statistics(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.n_items == 60
+        assert stats.n_answers == 300
+        assert stats.answers_per_item_mean == pytest.approx(5.0)
+        assert stats.label_correlation > 0
+
+    def test_as_row_matches_headers(self, micro_dataset):
+        stats = compute_statistics(micro_dataset)
+        assert len(stats.as_row()) == len(stats.headers())
+
+
+class TestStreams:
+    def test_by_workers_partitions(self, tiny_dataset):
+        stream = AnswerStream(tiny_dataset.answers, seed=1)
+        batches = list(stream.by_workers(7))
+        total = sum(b.n_answers for b in batches)
+        assert total == tiny_dataset.n_answers
+        # every worker's answers stay within one batch
+        seen = {}
+        for batch in batches:
+            for item, worker in batch.pairs:
+                seen.setdefault(worker, set()).add(batch.index)
+        assert all(len(ixs) == 1 for ixs in seen.values())
+
+    def test_by_answers_sizes(self, tiny_dataset):
+        batches = list(AnswerStream(tiny_dataset.answers, seed=2).by_answers(64))
+        assert sum(b.n_answers for b in batches) == tiny_dataset.n_answers
+        assert all(b.n_answers <= 64 for b in batches)
+
+    def test_by_fractions_cumulative(self, tiny_dataset):
+        batches = list(
+            AnswerStream(tiny_dataset.answers, seed=3).by_fractions([0.5, 1.0])
+        )
+        assert len(batches) == 2
+        assert sum(b.n_answers for b in batches) == tiny_dataset.n_answers
+
+    def test_by_fractions_validation(self, tiny_dataset):
+        stream = AnswerStream(tiny_dataset.answers)
+        with pytest.raises(ValidationError):
+            list(stream.by_fractions([0.5, 0.4]))
+        with pytest.raises(ValidationError):
+            list(stream.by_fractions([1.5]))
+
+    def test_batch_matrices_disjoint(self, tiny_dataset):
+        batches = list(AnswerStream(tiny_dataset.answers, seed=4).by_answers(100))
+        seen = set()
+        for batch in batches:
+            for pair in batch.pairs:
+                assert pair not in seen
+                seen.add(pair)
+
+    def test_split_batch(self, tiny_dataset):
+        batch = next(iter(AnswerStream(tiny_dataset.answers, seed=5).by_answers(150)))
+        subs = split_batch(batch, 40)
+        assert sum(s.n_answers for s in subs) == batch.n_answers
+        assert all(s.n_answers <= 40 for s in subs)
+        assert split_batch(batch, 1000) == [batch]
+        with pytest.raises(ValidationError):
+            split_batch(batch, 0)
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        a = [b.pairs for b in AnswerStream(tiny_dataset.answers, seed=9).by_answers(50)]
+        b = [b.pairs for b in AnswerStream(tiny_dataset.answers, seed=9).by_answers(50)]
+        assert a == b

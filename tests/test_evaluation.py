@@ -1,0 +1,158 @@
+"""Tests for metrics, runners, and reports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CPAAggregator, MajorityVoteAggregator
+from repro.data.dataset import GroundTruth
+from repro.errors import ValidationError
+from repro.evaluation.metrics import (
+    delta_ratio,
+    evaluate_predictions,
+    item_precision_recall,
+    micro_precision_recall,
+    prediction_size_histogram,
+)
+from repro.evaluation.report import accuracy_matrix_table, averaged_table, scores_table
+from repro.evaluation.runner import (
+    average_scores,
+    evaluate_methods,
+    repeat_with_seeds,
+)
+
+
+class TestItemMetrics:
+    def test_perfect_match(self):
+        assert item_precision_recall({1, 2}, {1, 2}) == (1.0, 1.0)
+
+    def test_partial(self):
+        p, r = item_precision_recall({1, 2, 3}, {1, 4})
+        assert p == pytest.approx(1 / 3)
+        assert r == pytest.approx(1 / 2)
+
+    def test_empty_prediction_nonempty_truth(self):
+        assert item_precision_recall(set(), {1}) == (0.0, 0.0)
+
+    def test_empty_both(self):
+        assert item_precision_recall(set(), set()) == (1.0, 1.0)
+
+    def test_nonempty_prediction_empty_truth(self):
+        p, r = item_precision_recall({1}, set())
+        assert p == 0.0 and r == 0.0
+
+    @given(
+        st.sets(st.integers(0, 8), max_size=5),
+        st.sets(st.integers(0, 8), max_size=5),
+    )
+    @settings(max_examples=80)
+    def test_bounds_and_symmetric_roles(self, predicted, truth):
+        p, r = item_precision_recall(predicted, truth)
+        assert 0 <= p <= 1 and 0 <= r <= 1
+        # swapping roles swaps the metrics
+        p2, r2 = item_precision_recall(truth, predicted)
+        assert p == pytest.approx(r2) and r == pytest.approx(p2)
+
+
+class TestDatasetMetrics:
+    def test_averaging(self, micro_truth):
+        predictions = {0: frozenset({0, 1}), 1: frozenset({2}), 2: frozenset(), 3: frozenset({0, 4})}
+        result = evaluate_predictions(predictions, micro_truth)
+        assert result.n_items == 4
+        assert result.precision == pytest.approx((1 + 1 + 0 + 1) / 4)
+        assert result.recall == pytest.approx((1 + 0.5 + 0 + 1) / 4)
+
+    def test_f1(self, micro_truth):
+        predictions = {i: micro_truth.get(i) for i in range(4)}
+        result = evaluate_predictions(predictions, micro_truth)
+        assert result.f1 == pytest.approx(1.0)
+
+    def test_missing_items_scored_as_empty(self, micro_truth):
+        result = evaluate_predictions({}, micro_truth)
+        assert result.precision == 0.0
+
+    def test_item_restriction(self, micro_truth):
+        result = evaluate_predictions(
+            {0: frozenset({0, 1})}, micro_truth, items=[0]
+        )
+        assert result.n_items == 1 and result.precision == 1.0
+
+    def test_no_truth_raises(self):
+        with pytest.raises(ValidationError):
+            evaluate_predictions({}, GroundTruth(3, 2))
+
+    def test_accepts_dataset(self, micro_dataset):
+        result = evaluate_predictions(
+            {0: frozenset({0, 1})}, micro_dataset, items=[0]
+        )
+        assert result.precision == 1.0
+
+    def test_micro_metrics(self, micro_truth):
+        predictions = {i: micro_truth.get(i) for i in range(4)}
+        p, r = micro_precision_recall(predictions, micro_truth)
+        assert p == 1.0 and r == 1.0
+
+    def test_delta_ratio(self):
+        assert delta_ratio(0.4, 0.8) == pytest.approx(0.5)
+        assert delta_ratio(0.9, 0.0) == 0.0
+        assert delta_ratio(-0.1, 0.5) == 0.0
+
+    def test_histogram(self):
+        histogram = prediction_size_histogram(
+            {0: frozenset(), 1: frozenset({1}), 2: frozenset({1, 2})}
+        )
+        assert histogram == {0: 1, 1: 1, 2: 1}
+
+
+class TestRunner:
+    def test_evaluate_methods(self, tiny_dataset):
+        scores = evaluate_methods(tiny_dataset, [MajorityVoteAggregator()])
+        assert len(scores) == 1
+        assert scores[0].method == "MV"
+        assert scores[0].runtime_seconds >= 0
+
+    def test_empty_methods_rejected(self, tiny_dataset):
+        with pytest.raises(ValidationError):
+            evaluate_methods(tiny_dataset, [])
+
+    def test_repeat_with_seeds(self, tiny_dataset):
+        from repro.simulation.generator import generate_dataset
+        from tests.conftest import tiny_config
+
+        grouped = repeat_with_seeds(
+            lambda seed: generate_dataset(tiny_config(), seed=seed),
+            lambda: [MajorityVoteAggregator()],
+            seeds=[0, 1],
+        )
+        assert len(grouped["MV"]) == 2
+
+    def test_repeat_requires_seeds(self):
+        with pytest.raises(ValidationError):
+            repeat_with_seeds(lambda s: None, lambda: [], seeds=[])
+
+    def test_average_scores(self, tiny_dataset):
+        grouped = {
+            "MV": evaluate_methods(tiny_dataset, [MajorityVoteAggregator()])
+            + evaluate_methods(tiny_dataset, [MajorityVoteAggregator()])
+        }
+        averaged = average_scores(grouped)
+        assert averaged[0].n_runs == 2
+        assert averaged[0].precision_std == pytest.approx(0.0)
+
+
+class TestReports:
+    def test_scores_table(self, tiny_dataset):
+        scores = evaluate_methods(tiny_dataset, [MajorityVoteAggregator()])
+        out = scores_table(scores, title="T")
+        assert "MV" in out and "precision" in out
+
+    def test_accuracy_matrix_table(self, tiny_dataset):
+        scores = evaluate_methods(tiny_dataset, [MajorityVoteAggregator()])
+        out = accuracy_matrix_table({"tiny": scores}, ["MV"])
+        assert "tiny" in out
+
+    def test_averaged_table(self, tiny_dataset):
+        grouped = {"MV": evaluate_methods(tiny_dataset, [MajorityVoteAggregator()])}
+        out = averaged_table(average_scores(grouped))
+        assert "±" in out

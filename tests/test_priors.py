@@ -1,0 +1,122 @@
+"""Tests for the prior-knowledge extension (paper §6's conditional hook)."""
+
+import numpy as np
+import pytest
+
+from repro.core.priors import LabelKnowledge, apply_knowledge, knowledge_coverage
+from repro.errors import ValidationError
+
+
+class TestLabelKnowledge:
+    def test_add_and_matrix(self):
+        knowledge = LabelKnowledge(n_labels=4)
+        knowledge.add_implication(0, 1, 0.9)
+        matrix = knowledge.conditional_matrix()
+        assert matrix[0, 1] == 0.9
+        assert matrix[1, 0] == 0.5  # neutral elsewhere
+
+    def test_last_rule_wins(self):
+        knowledge = LabelKnowledge(n_labels=3)
+        knowledge.add_implication(0, 1, 0.7)
+        knowledge.add_implication(0, 1, 0.9)
+        assert knowledge.conditional_matrix()[0, 1] == 0.9
+
+    @pytest.mark.parametrize(
+        "cause,effect,probability",
+        [(0, 0, 0.8), (0, 9, 0.8), (-1, 1, 0.8), (0, 1, 0.0), (0, 1, 1.0)],
+    )
+    def test_invalid_rules(self, cause, effect, probability):
+        knowledge = LabelKnowledge(n_labels=4)
+        with pytest.raises(ValidationError):
+            knowledge.add_implication(cause, effect, probability)
+
+    def test_invalid_at_construction(self):
+        with pytest.raises(ValidationError):
+            LabelKnowledge(n_labels=2, implications=[(0, 0, 0.5)])
+        with pytest.raises(ValidationError):
+            LabelKnowledge(n_labels=0)
+
+    def test_from_cooccurrence_graph(self, tiny_dataset):
+        from repro.simulation.labelspace import cooccurrence_graph
+
+        graph = cooccurrence_graph(tiny_dataset.answers.cooccurrence_counts())
+        knowledge = LabelKnowledge.from_cooccurrence_graph(
+            graph, tiny_dataset.n_labels, strength=0.8, min_weight=0.3
+        )
+        stats = knowledge_coverage(knowledge)
+        assert stats["n_rules"] >= 2
+        assert stats["mean_strength"] == pytest.approx(0.8)
+
+    def test_coverage_empty(self):
+        assert knowledge_coverage(LabelKnowledge(n_labels=3))["n_rules"] == 0
+
+
+class TestApplyKnowledge:
+    def test_boosts_implied_label(self, tiny_model):
+        consensus = tiny_model.consensus_
+        # Find a cluster with one confident label and one weak label.
+        inclusion = consensus.inclusion
+        cluster = int(np.argmax(inclusion.max(axis=1)))
+        cause = int(np.argmax(inclusion[cluster]))
+        effect = int(np.argmin(inclusion[cluster]))
+        knowledge = LabelKnowledge(n_labels=inclusion.shape[1])
+        knowledge.add_implication(cause, effect, 0.95)
+
+        adjusted = apply_knowledge(consensus, knowledge)
+        assert adjusted.inclusion[cluster, effect] > inclusion[cluster, effect]
+        # untouched entries stay identical (up to the clipping)
+        untouched = np.ones_like(inclusion, dtype=bool)
+        untouched[:, effect] = False
+        np.testing.assert_allclose(
+            adjusted.inclusion[untouched], np.clip(inclusion, 1e-4, 1 - 1e-4)[untouched],
+            atol=1e-9,
+        )
+
+    def test_inactive_cause_changes_nothing(self, tiny_model):
+        consensus = tiny_model.consensus_
+        inclusion = consensus.inclusion
+        cause = int(np.argmin(inclusion.max(axis=0)))  # weak everywhere
+        effect = (cause + 1) % inclusion.shape[1]
+        knowledge = LabelKnowledge(n_labels=inclusion.shape[1])
+        knowledge.add_implication(cause, effect, 0.95)
+        adjusted = apply_knowledge(consensus, knowledge, confidence_threshold=0.99)
+        np.testing.assert_allclose(
+            adjusted.inclusion, np.clip(inclusion, 1e-4, 1 - 1e-4), atol=1e-9
+        )
+
+    def test_input_not_mutated(self, tiny_model):
+        consensus = tiny_model.consensus_
+        before = consensus.inclusion.copy()
+        knowledge = LabelKnowledge(n_labels=before.shape[1])
+        knowledge.add_implication(0, 1, 0.9)
+        apply_knowledge(consensus, knowledge)
+        np.testing.assert_array_equal(consensus.inclusion, before)
+
+    def test_shape_mismatch_rejected(self, tiny_model):
+        with pytest.raises(ValidationError):
+            apply_knowledge(tiny_model.consensus_, LabelKnowledge(n_labels=99))
+
+    def test_bad_threshold_rejected(self, tiny_model):
+        knowledge = LabelKnowledge(n_labels=tiny_model.consensus_.inclusion.shape[1])
+        with pytest.raises(ValidationError):
+            apply_knowledge(tiny_model.consensus_, knowledge, confidence_threshold=0.2)
+
+    def test_end_to_end_with_prediction(self, tiny_model, tiny_dataset):
+        """Knowledge derived from the data itself must not hurt accuracy."""
+        from repro.core.prediction import predict_items
+        from repro.evaluation.metrics import evaluate_predictions
+        from repro.simulation.labelspace import cooccurrence_graph
+
+        graph = cooccurrence_graph(tiny_dataset.answers.cooccurrence_counts())
+        knowledge = LabelKnowledge.from_cooccurrence_graph(
+            graph, tiny_dataset.n_labels, strength=0.7, min_weight=0.4
+        )
+        adjusted = apply_knowledge(tiny_model.consensus_, knowledge)
+        details = predict_items(
+            tiny_model.state_, adjusted, tiny_dataset.answers, tiny_model.config
+        )
+        baseline = evaluate_predictions(tiny_model.predict(), tiny_dataset.truth)
+        augmented = evaluate_predictions(
+            {k: v.labels for k, v in details.items()}, tiny_dataset.truth
+        )
+        assert augmented.f1 >= baseline.f1 - 0.05

@@ -1,0 +1,142 @@
+"""Property-based tests on end-to-end inference invariants.
+
+Hypothesis generates small random crowdsourcing instances; the properties
+assert structural invariants that must hold for *any* input: state
+validity, ELBO finiteness and monotonicity, prediction domain correctness,
+and serialisation round-trips through the full public API.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CPAConfig
+from repro.core.consensus import estimate_consensus
+from repro.core.inference import VariationalInference
+from repro.core.model import CPAModel
+from repro.data.answers import AnswerMatrix
+from repro.data.loaders import dataset_from_dict, dataset_to_dict
+from repro.data.dataset import CrowdDataset, GroundTruth
+
+
+@st.composite
+def crowd_instance(draw):
+    """A random small answer matrix with at least one answer per item."""
+    n_items = draw(st.integers(4, 10))
+    n_workers = draw(st.integers(3, 8))
+    n_labels = draw(st.integers(3, 8))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    matrix = AnswerMatrix(n_items, n_workers, n_labels)
+    for item in range(n_items):
+        k = int(rng.integers(1, min(4, n_workers) + 1))
+        workers = rng.choice(n_workers, size=k, replace=False)
+        for worker in workers:
+            size = int(rng.integers(1, min(3, n_labels) + 1))
+            labels = rng.choice(n_labels, size=size, replace=False)
+            matrix.add(item, int(worker), [int(l) for l in labels])
+    return matrix
+
+
+SMALL_CONFIG = dict(max_iterations=4, tolerance=1e-3, max_truncation=6)
+
+
+class TestInferenceProperties:
+    @given(crowd_instance(), st.integers(0, 1000))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_state_always_valid_and_elbo_monotone(self, matrix, seed):
+        engine = VariationalInference(
+            CPAConfig(seed=seed, **SMALL_CONFIG), matrix
+        )
+        previous = engine.elbo()
+        assert np.isfinite(previous)
+        for _ in range(3):
+            engine.sweep()
+            engine.state.validate()
+            current = engine.elbo()
+            assert current >= previous - 1e-6
+            previous = current
+
+    @given(crowd_instance(), st.integers(0, 1000))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_predictions_always_in_domain(self, matrix, seed):
+        model = CPAModel(CPAConfig(seed=seed, **SMALL_CONFIG)).fit(matrix)
+        predictions = model.predict()
+        assert set(predictions) == set(matrix.answered_items())
+        for labels in predictions.values():
+            assert all(0 <= label < matrix.n_labels for label in labels)
+
+    @given(crowd_instance())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_consensus_always_proper(self, matrix):
+        engine = VariationalInference(CPAConfig(seed=0, **SMALL_CONFIG), matrix)
+        result = engine.run(track_elbo=False)
+        consensus = estimate_consensus(result.state, engine.config, matrix)
+        assert np.all(consensus.inclusion > 0)
+        assert np.all(consensus.inclusion < 1)
+        assert np.all(consensus.community_weights >= 0)
+        np.testing.assert_allclose(consensus.cluster_weights.sum(), 1.0, atol=1e-9)
+        rates = consensus.label_rates
+        assert rates is not None
+        for array in (rates.sensitivity, rates.false_rate):
+            assert np.all(array > 0) and np.all(array < 1)
+
+    @given(crowd_instance(), st.integers(0, 100))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_seed_determinism_of_full_pipeline(self, matrix, seed):
+        a = CPAModel(CPAConfig(seed=seed, **SMALL_CONFIG)).fit(matrix).predict()
+        b = CPAModel(CPAConfig(seed=seed, **SMALL_CONFIG)).fit(matrix).predict()
+        assert a == b
+
+
+class TestSerialisationProperties:
+    @given(crowd_instance())
+    @settings(max_examples=20, deadline=None)
+    def test_dataset_roundtrip_preserves_everything(self, matrix):
+        truth = GroundTruth(matrix.n_items, matrix.n_labels)
+        for item in range(0, matrix.n_items, 2):
+            truth.set(item, {item % matrix.n_labels})
+        dataset = CrowdDataset(name="prop", answers=matrix, truth=truth)
+        rebuilt = dataset_from_dict(dataset_to_dict(dataset))
+        assert rebuilt.n_answers == dataset.n_answers
+        for answer in dataset.answers.iter_answers():
+            assert rebuilt.answers.get(answer.item, answer.worker) == answer.labels
+        assert rebuilt.truth.known_items() == truth.known_items()
+
+
+class TestMetricProperties:
+    @given(crowd_instance(), st.integers(0, 50))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_perfect_prediction_scores_one(self, matrix, seed):
+        from repro.evaluation.metrics import evaluate_predictions
+
+        rng = np.random.default_rng(seed)
+        truth = GroundTruth(matrix.n_items, matrix.n_labels)
+        for item in range(matrix.n_items):
+            size = int(rng.integers(1, matrix.n_labels + 1))
+            truth.set(item, rng.choice(matrix.n_labels, size=size, replace=False))
+        oracle = {item: truth.get(item) for item in range(matrix.n_items)}
+        result = evaluate_predictions(oracle, truth)
+        assert result.precision == pytest.approx(1.0)
+        assert result.recall == pytest.approx(1.0)

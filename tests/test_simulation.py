@@ -1,0 +1,251 @@
+"""Tests for the simulation substrate: label spaces, truth, generator,
+scenarios, and perturbations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.statistics import compute_statistics
+from repro.errors import ValidationError
+from repro.simulation.generator import SimulationConfig, generate_dataset
+from repro.simulation.labelspace import (
+    LabelSpace,
+    cooccurrence_graph,
+    detected_label_clusters,
+)
+from repro.simulation.perturbations import (
+    inject_label_dependencies,
+    inject_spammers,
+    reveal_truth_fraction,
+    sparsify,
+)
+from repro.simulation.scenarios import (
+    SCENARIO_NAMES,
+    large_scale_config,
+    make_scenario,
+    scenario_config,
+)
+from repro.simulation.truth import build_truth_model, sample_truth
+from tests.conftest import tiny_config
+
+
+class TestLabelSpace:
+    def test_partition_enforced(self):
+        with pytest.raises(ValidationError):
+            LabelSpace(n_labels=3, clusters=((0, 1), (1, 2)))
+        with pytest.raises(ValidationError):
+            LabelSpace(n_labels=3, clusters=((0, 1),))
+
+    def test_generate_partitions(self):
+        space = LabelSpace.generate(10, 3, seed=0)
+        assert space.n_clusters == 3
+        assignment = space.cluster_assignment()
+        assert sorted(
+            label for cluster in space.clusters for label in cluster
+        ) == list(range(10))
+        for index, cluster in enumerate(space.clusters):
+            for label in cluster:
+                assert assignment[label] == index
+                assert space.cluster_of(label) == index
+
+    def test_trivial(self):
+        space = LabelSpace.trivial(4)
+        assert space.n_clusters == 4
+
+    def test_confusability_structure(self):
+        space = LabelSpace(n_labels=4, clusters=((0, 1), (2, 3)))
+        conf = space.confusability(within=3.0, across=0.3)
+        assert conf[0, 1] == 3.0
+        assert conf[0, 2] == 0.3
+        assert conf[0, 0] == 0.0
+        with pytest.raises(ValidationError):
+            space.confusability(within=0.0)
+
+
+class TestCooccurrenceGraph:
+    def test_graph_from_counts(self):
+        counts = np.array([[5, 4, 0], [4, 6, 0], [0, 0, 3]])
+        graph = cooccurrence_graph(counts)
+        assert graph.number_of_nodes() == 3
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert graph.nodes[0]["size"] == 5.0
+
+    def test_components_recover_clusters(self):
+        counts = np.array(
+            [[10, 8, 0, 0], [8, 10, 0, 0], [0, 0, 10, 7], [0, 0, 7, 10]]
+        )
+        graph = cooccurrence_graph(counts)
+        components = detected_label_clusters(graph, min_weight=0.5)
+        assert {frozenset(c) for c in components} == {
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+        }
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            cooccurrence_graph(np.ones((2, 3)))
+
+
+class TestTruthModel:
+    def test_profiles_are_probabilities(self):
+        space = LabelSpace.generate(12, 4, seed=1)
+        model = build_truth_model(space, 6, 2.0, 0.9, seed=2)
+        assert model.profiles.shape == (6, 12)
+        assert np.all(model.profiles > 0) and np.all(model.profiles < 1)
+        assert model.weights.sum() == pytest.approx(1.0)
+
+    def test_correlated_profiles_reuse_theme_labels(self):
+        space = LabelSpace.generate(12, 3, seed=1)
+        strong = build_truth_model(space, 8, 2.0, 1.0, seed=3)
+        weak = build_truth_model(space, 8, 2.0, 0.0, seed=3)
+        # Under full correlation, a cluster's high-probability labels live in
+        # at most 2 label-space clusters.
+        assignment = space.cluster_assignment()
+        for profile in strong.profiles:
+            core = np.flatnonzero(profile > 0.5)
+            assert len({assignment[label] for label in core}) <= 2
+        # Weak correlation puts no fringe mass anywhere.
+        assert (weak.profiles > 0.1).sum() <= (strong.profiles > 0.1).sum()
+
+    def test_sample_truth_constraints(self):
+        space = LabelSpace.generate(10, 3, seed=0)
+        model = build_truth_model(space, 4, 2.5, 0.8, seed=0)
+        clusters, truth = sample_truth(model, 50, seed=1, max_labels_per_item=3)
+        assert len(clusters) == 50
+        assert truth.is_complete()
+        for item, labels in truth.items():
+            assert 1 <= len(labels) <= 3
+
+    def test_validation(self):
+        space = LabelSpace.trivial(4)
+        with pytest.raises(ValidationError):
+            build_truth_model(space, 0, 2.0, 0.5)
+        with pytest.raises(ValidationError):
+            build_truth_model(space, 2, 2.0, 1.5)
+
+
+class TestGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            tiny_config(answers_per_item=0)
+        with pytest.raises(ValidationError):
+            tiny_config(answers_per_item=99)  # more than workers
+        with pytest.raises(ValidationError):
+            tiny_config(worker_skew="weird")
+        with pytest.raises(ValidationError):
+            tiny_config(n_label_clusters=99)
+
+    def test_scaled(self):
+        config = tiny_config().scaled(0.5)
+        assert config.n_items == 30
+        assert config.answers_per_item == 5
+        with pytest.raises(ValidationError):
+            tiny_config().scaled(0)
+
+    def test_generated_dataset_consistency(self, tiny_dataset):
+        assert tiny_dataset.n_answers == 60 * 5
+        assert tiny_dataset.truth.is_complete()
+        assert len(tiny_dataset.worker_types) == tiny_dataset.n_workers
+        assert len(tiny_dataset.item_clusters) == tiny_dataset.n_items
+        for item in range(tiny_dataset.n_items):
+            assert len(tiny_dataset.answers.workers_for_item(item)) == 5
+
+    def test_determinism(self):
+        a = generate_dataset(tiny_config(), seed=9)
+        b = generate_dataset(tiny_config(), seed=9)
+        assert dict_of(a) == dict_of(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(tiny_config(), seed=1)
+        b = generate_dataset(tiny_config(), seed=2)
+        assert dict_of(a) != dict_of(b)
+
+    def test_skewed_vs_normal_worker_distribution(self):
+        skewed = generate_dataset(tiny_config(worker_skew="skewed", n_workers=40), seed=5)
+        normal = generate_dataset(tiny_config(worker_skew="normal", n_workers=40), seed=5)
+        assert (
+            compute_statistics(skewed).worker_skewness
+            > compute_statistics(normal).worker_skewness
+        )
+
+
+def dict_of(dataset):
+    return {
+        (a.item, a.worker): a.labels for a in dataset.answers.iter_answers()
+    }
+
+
+class TestScenarios:
+    def test_all_scenarios_buildable_small(self):
+        for name in SCENARIO_NAMES:
+            dataset = make_scenario(name, seed=0, scale=0.2)
+            assert dataset.n_answers > 0
+            assert dataset.truth.is_complete()
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValidationError):
+            scenario_config("nope")
+
+    def test_scenarios_differ_under_same_seed(self):
+        image = make_scenario("image", seed=0, scale=0.2)
+        topic = make_scenario("topic", seed=0, scale=0.2)
+        assert image.n_labels != topic.n_labels
+
+    def test_large_scale_config(self):
+        config = large_scale_config(n_items=100, n_workers=50, answers_per_item=5)
+        dataset = generate_dataset(config, 0)
+        assert dataset.n_answers == 500
+
+
+class TestPerturbations:
+    def test_sparsify_removes_share(self, tiny_dataset):
+        sparse = sparsify(tiny_dataset, 0.5, seed=0)
+        assert sparse.n_answers == pytest.approx(tiny_dataset.n_answers * 0.5, abs=1)
+        assert sparse.truth is tiny_dataset.truth
+        with pytest.raises(ValidationError):
+            sparsify(tiny_dataset, 1.0)
+
+    def test_sparsify_zero_is_identity(self, tiny_dataset):
+        assert sparsify(tiny_dataset, 0.0).n_answers == tiny_dataset.n_answers
+
+    def test_inject_spammers_share(self, tiny_dataset):
+        spammed = inject_spammers(tiny_dataset, 0.4, seed=0)
+        spam_answers = spammed.n_answers - tiny_dataset.n_answers
+        assert spam_answers / spammed.n_answers == pytest.approx(0.4, abs=0.05)
+        assert spammed.n_workers > tiny_dataset.n_workers
+        # provenance extended with spammer types only
+        new_types = spammed.worker_types[tiny_dataset.n_workers :]
+        assert set(new_types) <= {"uniform_spammer", "random_spammer"}
+
+    def test_inject_spammers_zero_identity(self, tiny_dataset):
+        assert inject_spammers(tiny_dataset, 0.0) is tiny_dataset
+
+    def test_inject_label_dependencies_adds_only_true_labels(self, tiny_dataset):
+        enriched = inject_label_dependencies(tiny_dataset, 0.3, seed=0)
+        added = 0
+        for answer in enriched.answers.iter_answers():
+            original = tiny_dataset.answers.get(answer.item, answer.worker)
+            extra = answer.labels - original
+            truth = tiny_dataset.truth.get(answer.item)
+            assert extra <= truth  # only missing true labels were added
+            added += len(extra)
+        assert added > 0
+
+    def test_inject_label_dependencies_level_zero(self, tiny_dataset):
+        assert inject_label_dependencies(tiny_dataset, 0.0) is tiny_dataset
+
+    def test_reveal_truth_fraction(self, tiny_dataset):
+        partial = reveal_truth_fraction(tiny_dataset, 0.25, seed=0)
+        assert len(partial.truth) == 15
+        assert partial.answers is tiny_dataset.answers
+
+    @given(st.floats(0.1, 0.8))
+    @settings(max_examples=10, deadline=None)
+    def test_sparsify_monotone(self, level):
+        dataset = generate_dataset(tiny_config(), seed=3)
+        sparse = sparsify(dataset, level, seed=1)
+        assert sparse.n_answers <= dataset.n_answers
+        expected = max(1, round(dataset.n_answers * (1 - level)))
+        assert sparse.n_answers == expected

@@ -1,0 +1,171 @@
+"""Tests for RNG plumbing, validation helpers, executors, and tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+    split_chunks,
+)
+from repro.utils.random import RandomState, choice_without_replacement, spawn_rngs
+from repro.utils.tables import format_kv_block, format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_probability_matrix,
+    check_type,
+)
+
+
+class TestRandomState:
+    def test_int_seed_deterministic(self):
+        a = RandomState(42).random(5)
+        b = RandomState(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert RandomState(gen) is gen
+
+    def test_spawn_rngs_independent_and_stable(self):
+        first = [g.random() for g in spawn_rngs(7, 3)]
+        second = [g.random() for g in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_choice_without_replacement_all_when_oversized(self):
+        rng = RandomState(0)
+        out = choice_without_replacement(rng, range(3), 10)
+        assert sorted(out.tolist()) == [0, 1, 2]
+
+    def test_choice_without_replacement_distinct(self):
+        rng = RandomState(0)
+        out = choice_without_replacement(rng, range(100), 10)
+        assert len(set(out.tolist())) == 10
+
+
+class TestValidation:
+    def test_check_type_passes_and_fails(self):
+        assert check_type("x", 3, int) == 3
+        with pytest.raises(ValidationError):
+            check_type("x", "3", int)
+
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ValidationError):
+            check_positive("x", 0.0)
+        assert check_positive("x", 0.0, strict=False) == 0.0
+        with pytest.raises(ValidationError):
+            check_positive("x", float("nan"))
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 0.0) == 0.0
+        with pytest.raises(ValidationError):
+            check_fraction("x", 1.5)
+        with pytest.raises(ValidationError):
+            check_fraction("x", 0.0, inclusive=False)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 2, 1, 3) == 2
+        with pytest.raises(ValidationError):
+            check_in_range("x", 2.5, 1, 3, integral=True)
+
+    def test_check_probability_matrix(self):
+        check_probability_matrix("p", np.array([[0.5, 0.5]]))
+        with pytest.raises(ValidationError):
+            check_probability_matrix("p", np.array([[0.5, 0.6]]))
+
+
+class TestSplitChunks:
+    def test_balanced(self):
+        chunks = split_chunks(10, 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert [c.start for c in chunks] == [0, 4, 7]
+
+    def test_more_parts_than_items(self):
+        chunks = split_chunks(2, 5)
+        assert len(chunks) == 2
+
+    def test_zero_items(self):
+        assert split_chunks(0, 3) == []
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            split_chunks(-1, 2)
+        with pytest.raises(ValidationError):
+            split_chunks(3, 0)
+
+
+def _square_chunk(chunk):
+    return [i * i for i in chunk]
+
+
+def _double_task(x):
+    return x * 2
+
+
+class TestExecutors:
+    def test_serial_map_chunks(self):
+        with SerialExecutor() as ex:
+            out = ex.map_chunks(_square_chunk, 4)
+        assert [v for piece in out for v in piece] == [0, 1, 4, 9]
+
+    def test_thread_matches_serial(self):
+        with ThreadExecutor(2) as ex:
+            out = ex.map_chunks(_square_chunk, 7)
+        flat = sorted(v for piece in out for v in piece)
+        assert flat == sorted(i * i for i in range(7))
+
+    def test_process_map_tasks(self):
+        with ProcessExecutor(2) as ex:
+            out = ex.map_tasks(_double_task, [1, 2, 3])
+        assert out == [2, 4, 6]
+
+    def test_serial_map_tasks(self):
+        with SerialExecutor() as ex:
+            assert ex.map_tasks(_double_task, [5]) == [10]
+
+    def test_factory(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("thread", 2), ThreadExecutor)
+        with pytest.raises(ValidationError):
+            make_executor("gpu")
+
+    def test_degree_validation(self):
+        with pytest.raises(ValidationError):
+            ThreadExecutor(0)
+
+
+class TestTables:
+    def test_basic_layout(self):
+        out = format_table(("a", "bb"), [(1, 2.5), (10, 0.125)])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in out and "0.125" in out
+
+    def test_title_and_bool(self):
+        out = format_table(("x",), [(True,)], title="T")
+        assert out.startswith("T\n")
+        assert "yes" in out
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_custom_float_format(self):
+        out = format_table(("v",), [(0.123456,)], float_format=".1f")
+        assert "0.1" in out and "0.12" not in out
+
+    def test_kv_block(self):
+        out = format_kv_block([("key", 1), ("longer-key", "v")])
+        assert "key" in out and "longer-key" in out
+        assert format_kv_block([]) == ""

@@ -1,0 +1,211 @@
+"""Tests for worker archetypes, populations, and answer behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.random import RandomState
+from repro.workers.behavior import AnswerBehavior, expected_operating_point
+from repro.workers.population import PopulationSpec, sample_population
+from repro.workers.types import WorkerProfile, WorkerType, sample_profile
+
+
+class TestWorkerType:
+    def test_spammer_flags(self):
+        assert WorkerType.UNIFORM_SPAMMER.is_spammer
+        assert WorkerType.RANDOM_SPAMMER.is_spammer
+        assert WorkerType.RELIABLE.is_honest
+        assert not WorkerType.SLOPPY.is_spammer
+
+
+class TestWorkerProfile:
+    def test_uniform_spammer_needs_fixed_answer(self):
+        with pytest.raises(ValidationError):
+            WorkerProfile(worker_type=WorkerType.UNIFORM_SPAMMER)
+
+    def test_random_spammer_needs_inclusion(self):
+        with pytest.raises(ValidationError):
+            WorkerProfile(worker_type=WorkerType.RANDOM_SPAMMER, random_inclusion=0.0)
+
+    def test_honest_needs_sensitivity(self):
+        with pytest.raises(ValidationError):
+            WorkerProfile(worker_type=WorkerType.RELIABLE)
+
+    def test_sample_profile_ranges(self):
+        rng = RandomState(0)
+        for _ in range(20):
+            profile = sample_profile(WorkerType.RELIABLE, 10, rng)
+            assert profile.sensitivity.shape == (10,)
+            assert profile.sensitivity.mean() > 0.7
+            assert 0 <= profile.confusion_prob <= 0.1
+            assert profile.attention_budget >= 4
+
+    def test_sloppy_below_reliable(self):
+        rng = RandomState(1)
+        reliable = np.mean(
+            [sample_profile(WorkerType.RELIABLE, 8, rng).sensitivity.mean() for _ in range(10)]
+        )
+        sloppy = np.mean(
+            [sample_profile(WorkerType.SLOPPY, 8, rng).sensitivity.mean() for _ in range(10)]
+        )
+        assert reliable > sloppy + 0.2
+
+
+class TestPopulationSpec:
+    def test_paper_default_sums_to_one(self):
+        spec = PopulationSpec.paper_default()
+        assert sum(spec.mixture.values()) == pytest.approx(1.0)
+        assert spec.spammer_fraction() == pytest.approx(0.25)
+
+    def test_from_alpha_beta_gamma(self):
+        spec = PopulationSpec.from_alpha_beta_gamma(43, 32, 25)
+        assert spec.spammer_fraction() == pytest.approx(0.25)
+        assert sum(spec.mixture.values()) == pytest.approx(1.0)
+        with pytest.raises(ValidationError):
+            PopulationSpec.from_alpha_beta_gamma(50, 30, 30)
+
+    def test_invalid_mixtures(self):
+        with pytest.raises(ValidationError):
+            PopulationSpec({WorkerType.RELIABLE: 0.5})
+        with pytest.raises(ValidationError):
+            PopulationSpec({})
+
+    def test_sample_population_counts(self):
+        spec = PopulationSpec.paper_default()
+        profiles = sample_population(spec, 40, 10, seed=0)
+        assert len(profiles) == 40
+        spam = sum(1 for p in profiles if p.worker_type.is_spammer)
+        assert spam == 10  # 25% of 40
+
+    def test_sample_population_deterministic(self):
+        spec = PopulationSpec.spammers_only()
+        a = sample_population(spec, 10, 5, seed=3)
+        b = sample_population(spec, 10, 5, seed=3)
+        assert [p.worker_type for p in a] == [p.worker_type for p in b]
+
+
+class TestAnswerBehavior:
+    def _reliable(self, n_labels=10, budget=0):
+        return WorkerProfile(
+            worker_type=WorkerType.RELIABLE,
+            sensitivity=np.full(n_labels, 0.95),
+            fp_mean=0.0,
+            confusion_prob=0.0,
+            attention_budget=budget,
+        )
+
+    def test_reliable_worker_mostly_correct(self):
+        behavior = AnswerBehavior(10)
+        rng = RandomState(0)
+        truth = frozenset({1, 4, 7})
+        hits = 0
+        for _ in range(200):
+            answer = behavior.generate(self._reliable(), truth, rng)
+            hits += len(answer & truth)
+            assert answer  # never empty
+            assert not answer - truth  # fp_mean = 0 -> no false positives
+        assert hits / (200 * 3) > 0.9
+
+    def test_uniform_spammer_constant(self):
+        behavior = AnswerBehavior(6)
+        profile = WorkerProfile(
+            worker_type=WorkerType.UNIFORM_SPAMMER, fixed_answer=frozenset({2})
+        )
+        rng = RandomState(0)
+        answers = {behavior.generate(profile, frozenset({0}), rng) for _ in range(20)}
+        assert answers == {frozenset({2})}
+
+    def test_random_spammer_nonempty_and_truth_blind(self):
+        behavior = AnswerBehavior(20)
+        profile = WorkerProfile(
+            worker_type=WorkerType.RANDOM_SPAMMER, random_inclusion=0.1
+        )
+        rng = RandomState(0)
+        sizes = [len(behavior.generate(profile, frozenset({0, 1}), rng)) for _ in range(300)]
+        assert min(sizes) >= 1
+        assert np.mean(sizes) < 6
+
+    def test_attention_budget_caps_answer(self):
+        behavior = AnswerBehavior(10)
+        profile = self._reliable(budget=2)
+        rng = RandomState(0)
+        for _ in range(50):
+            answer = behavior.generate(profile, frozenset(range(8)), rng)
+            assert len(answer) <= 2
+
+    def test_confusion_substitutes_within_cluster(self):
+        # confusability concentrated on label 1 when label 0 is true
+        confusability = np.zeros((4, 4))
+        confusability[0, 1] = 1.0
+        behavior = AnswerBehavior(4, confusability=confusability)
+        profile = WorkerProfile(
+            worker_type=WorkerType.NORMAL,
+            sensitivity=np.full(4, 0.99),
+            fp_mean=0.0,
+            confusion_prob=1.0,  # always substitute
+        )
+        rng = RandomState(0)
+        answers = [behavior.generate(profile, frozenset({0}), rng) for _ in range(50)]
+        assert all(1 in a for a in answers)
+
+    def test_difficulty_scale_lowers_recall(self):
+        behavior = AnswerBehavior(10)
+        profile = self._reliable()
+        rng = RandomState(0)
+        truth = frozenset(range(5))
+        easy = np.mean(
+            [len(behavior.generate(profile, truth, rng) & truth) for _ in range(100)]
+        )
+        hard = np.mean(
+            [
+                len(behavior.generate(profile, truth, rng, sensitivity_scale=0.4) & truth)
+                for _ in range(100)
+            ]
+        )
+        assert hard < easy
+
+    def test_bad_scale_rejected(self):
+        behavior = AnswerBehavior(5)
+        with pytest.raises(ValidationError):
+            behavior.generate(self._reliable(5), frozenset({0}), RandomState(0), sensitivity_scale=0.0)
+
+    def test_out_of_range_truth_rejected(self):
+        behavior = AnswerBehavior(5)
+        with pytest.raises(ValidationError):
+            behavior.generate(self._reliable(5), frozenset({9}), RandomState(0))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_answers_always_valid(self, seed):
+        behavior = AnswerBehavior(8)
+        rng = RandomState(seed)
+        worker_type = list(WorkerType)[int(rng.integers(len(WorkerType)))]
+        profile = sample_profile(worker_type, 8, rng, typical_answer_size=2.0)
+        answer = behavior.generate(profile, frozenset({0, 3}), rng)
+        assert answer
+        assert all(0 <= label < 8 for label in answer)
+
+
+class TestOperatingPoints:
+    def test_reliable_top_right(self):
+        rng = RandomState(0)
+        profile = sample_profile(WorkerType.RELIABLE, 20, rng)
+        sens, spec = expected_operating_point(profile, 20)
+        assert sens > 0.8 and spec > 0.9
+
+    def test_random_spammer_on_antidiagonal(self):
+        profile = WorkerProfile(
+            worker_type=WorkerType.RANDOM_SPAMMER, random_inclusion=0.3
+        )
+        sens, spec = expected_operating_point(profile, 20)
+        assert sens + spec == pytest.approx(1.0)
+
+    def test_uniform_spammer_low_sensitivity(self):
+        profile = WorkerProfile(
+            worker_type=WorkerType.UNIFORM_SPAMMER, fixed_answer=frozenset({0})
+        )
+        sens, spec = expected_operating_point(profile, 20)
+        assert sens < 0.2
+        assert spec > 0.9
