@@ -1,0 +1,193 @@
+"""Micro-benchmarks of the fused kernel layer vs the frozen seed path.
+
+Measures, at several answer volumes, the wall-clock cost of
+
+* one batch-VI coordinate-ascent sweep (``VariationalInference.sweep``)
+  and one ELBO evaluation, fused kernels vs the seed implementation kept
+  in :mod:`repro.core.reference`;
+* one SVI batch step (``StochasticInference.process_batch``), same
+  comparison.
+
+The synthetic workload mirrors the paper's partial-agreement structure:
+label sets are drawn from a bounded pattern pool with a Zipf-like
+popularity profile, so the number of distinct patterns ``P`` is far below
+the number of answers ``N`` — the regime the pattern-deduplicated kernels
+exploit.  ``python -m benchmarks.run_perf`` drives these functions and
+records the trajectory in ``BENCH_core.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.config import CPAConfig
+from repro.core.inference import VariationalInference
+from repro.core.reference import (
+    ReferenceStochasticInference,
+    ReferenceVariationalInference,
+)
+from repro.core.svi import StochasticInference, stream_from_matrix
+from repro.data.answers import AnswerMatrix
+
+#: label-space size of the synthetic workload (movie-genre scale).
+N_LABELS = 12
+
+
+def build_matrix(
+    n_answers: int,
+    *,
+    n_labels: int = N_LABELS,
+    pattern_pool: int = 240,
+    answers_per_item: int = 10,
+    answers_per_worker: int = 50,
+    seed: int = 0,
+) -> AnswerMatrix:
+    """A synthetic partial-agreement matrix with ``P ≪ N`` set patterns."""
+    rng = np.random.default_rng(seed)
+    n_items = max(20, n_answers // answers_per_item)
+    n_workers = max(10, n_answers // answers_per_worker)
+
+    # Distinct (item, worker) pairs: oversample, dedupe, trim.
+    drawn = rng.integers(0, n_items * n_workers, size=int(n_answers * 1.3))
+    pairs = np.unique(drawn)[:n_answers]
+    rng.shuffle(pairs)
+    items = pairs // n_workers
+    workers = pairs % n_workers
+
+    # Pattern pool: label sets of size 1-3 with Zipf-like popularity.
+    pool: List[tuple] = []
+    seen = set()
+    while len(pool) < pattern_pool:
+        size = int(rng.integers(1, 4))
+        labels = tuple(sorted(rng.choice(n_labels, size=size, replace=False)))
+        if labels not in seen:
+            seen.add(labels)
+            pool.append(labels)
+    weights = 1.0 / np.arange(1, len(pool) + 1)
+    weights /= weights.sum()
+    assignment = rng.choice(len(pool), size=pairs.size, p=weights)
+
+    matrix = AnswerMatrix(n_items, n_workers, n_labels)
+    for item, worker, pattern in zip(items, workers, assignment):
+        matrix.add(int(item), int(worker), pool[pattern])
+    return matrix
+
+
+def _time_calls(func, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``func()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_batch_sweep(
+    n_answers: int, *, sweeps: int = 2, dtype: str = "float64", seed: int = 0
+) -> Dict[str, object]:
+    """Fused vs seed cost of one batch-VI sweep (and one ELBO evaluation)."""
+    matrix = build_matrix(n_answers, seed=seed)
+    config = CPAConfig(seed=seed, dtype=dtype)
+    fused = VariationalInference(config, matrix)
+    reference = ReferenceVariationalInference(config, matrix)
+
+    fused_sweep = _time_calls(fused.sweep, sweeps)
+    fused_elbo = _time_calls(fused.elbo, sweeps)
+    reference_sweep = _time_calls(reference.sweep, sweeps)
+    reference_elbo = _time_calls(reference.elbo, sweeps)
+    return {
+        "n_answers": int(matrix.n_answers),
+        "n_items": int(matrix.n_items),
+        "n_workers": int(matrix.n_workers),
+        "n_labels": int(matrix.n_labels),
+        "n_clusters": int(fused.state.n_clusters),
+        "n_communities": int(fused.state.n_communities),
+        "n_patterns": int(fused.kernel.n_patterns),
+        "dtype": dtype,
+        "fused_sweep_s": fused_sweep,
+        "reference_sweep_s": reference_sweep,
+        "sweep_speedup": reference_sweep / fused_sweep,
+        "fused_elbo_s": fused_elbo,
+        "reference_elbo_s": reference_elbo,
+        "elbo_speedup": reference_elbo / fused_elbo,
+    }
+
+
+def bench_svi_batch(
+    n_answers: int,
+    *,
+    answers_per_batch: int = 2000,
+    timed_batches: int = 3,
+    dtype: str = "float64",
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Fused vs seed cost of one SVI batch step.
+
+    The first batch (symmetry-breaking seeding) is fed untimed; the
+    following ``timed_batches`` steps are timed and the best is kept.
+    """
+    matrix = build_matrix(n_answers, seed=seed)
+    batches = stream_from_matrix(
+        matrix, answers_per_batch=answers_per_batch, seed=seed
+    )[: timed_batches + 1]
+    config = CPAConfig(seed=seed, dtype=dtype)
+    sizes = (matrix.n_items, matrix.n_workers, matrix.n_labels)
+
+    timings: Dict[str, float] = {}
+    for key, engine in (
+        ("fused", StochasticInference(config, *sizes)),
+        ("reference", ReferenceStochasticInference(config, *sizes)),
+    ):
+        engine.process_batch(batches[0])
+        best = float("inf")
+        for batch in batches[1:]:
+            start = time.perf_counter()
+            engine.process_batch(batch)
+            best = min(best, time.perf_counter() - start)
+        timings[key] = best
+    return {
+        "n_answers": int(matrix.n_answers),
+        "answers_per_batch": int(answers_per_batch),
+        "dtype": dtype,
+        "fused_batch_s": timings["fused"],
+        "reference_batch_s": timings["reference"],
+        "batch_speedup": timings["reference"] / timings["fused"],
+    }
+
+
+def run_suite(
+    sizes: Sequence[int] = (10_000, 50_000, 200_000),
+    *,
+    sweeps: int = 2,
+    dtype: str = "float64",
+    seed: int = 0,
+    verbose: bool = True,
+) -> List[Dict[str, object]]:
+    """Benchmark every answer volume; returns one record per size."""
+    records: List[Dict[str, object]] = []
+    for n_answers in sizes:
+        record = bench_batch_sweep(n_answers, sweeps=sweeps, dtype=dtype, seed=seed)
+        record.update(
+            {
+                f"svi_{key}": value
+                for key, value in bench_svi_batch(
+                    n_answers, dtype=dtype, seed=seed
+                ).items()
+                if key.endswith("_s") or key.endswith("speedup")
+                or key == "answers_per_batch"
+            }
+        )
+        records.append(record)
+        if verbose:
+            print(
+                f"N={record['n_answers']:>7d}  P={record['n_patterns']:>4d}  "
+                f"sweep {record['reference_sweep_s']:.3f}s -> "
+                f"{record['fused_sweep_s']:.3f}s ({record['sweep_speedup']:.1f}x)  "
+                f"elbo {record['elbo_speedup']:.1f}x  "
+                f"svi batch {record['svi_batch_speedup']:.1f}x"
+            )
+    return records

@@ -1,0 +1,90 @@
+"""Record the kernel-layer perf trajectory: ``python -m benchmarks.run_perf``.
+
+Runs :mod:`benchmarks.bench_kernels` at the standard answer volumes and
+writes ``BENCH_core.json`` at the repository root, so subsequent PRs have
+a measured baseline to compare against.  The file carries, per volume,
+the fused and frozen-seed timings for a batch-VI sweep, an ELBO
+evaluation, and an SVI batch step, plus enough environment metadata to
+interpret the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _parse_sizes(text: str) -> Sequence[int]:
+    try:
+        return tuple(int(part) for part in text.split(",") if part)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad size list {text!r}") from exc
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.run_perf",
+        description="Benchmark the fused inference kernels vs the seed path",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=_parse_sizes,
+        default=(10_000, 50_000, 200_000),
+        help="comma-separated answer volumes (default 10000,50000,200000)",
+    )
+    parser.add_argument(
+        "--sweeps", type=int, default=2, help="timed repetitions per measurement"
+    )
+    parser.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_core.json",
+        help="output JSON path (default: BENCH_core.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from benchmarks.bench_kernels import run_suite
+
+    records = run_suite(
+        args.sizes, sweeps=args.sweeps, dtype=args.dtype, seed=args.seed
+    )
+    payload = {
+        "benchmark": "core-kernels",
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "settings": {
+            "dtype": args.dtype,
+            "sweeps": args.sweeps,
+            "seed": args.seed,
+            "executor": "serial",
+        },
+        "results": records,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

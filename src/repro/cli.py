@@ -4,8 +4,13 @@ Commands
 --------
 ``repro list``
     Show all registered experiments with their paper artefacts.
-``repro run <id> [--seeds 0,1,2] [--scale 0.5] [--out FILE]``
-    Run one experiment (or ``all``) and print/save its report.
+``repro run <id> [--seeds 0,1,2] [--scale 0.5] [--out FILE]
+            [--executor thread] [--degree 4]``
+    Run one experiment (or ``all``) and print/save its report.  The
+    executor flags select the parallel backend for experiments that take
+    one (e.g. the Fig-7 runtime sweep) without code edits; kwargs an
+    experiment does not accept are filtered by signature, so generic
+    flags combine freely with ``all``.
 ``repro stats [--scale 1.0] [--seed 0]``
     Shortcut for the Table-3 statistics experiment.
 """
@@ -13,11 +18,13 @@ Commands
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.experiments import list_experiments, run_experiment
+from repro.experiments.registry import get_experiment
 
 
 def _parse_seeds(text: str) -> List[int]:
@@ -47,11 +54,37 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=None, help="single seed")
     run_parser.add_argument("--scale", type=float, default=None, help="dataset scale")
     run_parser.add_argument("--out", type=Path, default=None, help="write report to file")
+    run_parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="parallel backend for experiments that accept one (e.g. fig7)",
+    )
+    run_parser.add_argument(
+        "--degree",
+        type=int,
+        default=None,
+        help="parallelism degree for --executor (default: one lane per core)",
+    )
 
     stats_parser = sub.add_parser("stats", help="dataset statistics (Table 3)")
     stats_parser.add_argument("--scale", type=float, default=1.0)
     stats_parser.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _accepted_kwargs(experiment_id: str, kwargs: dict) -> dict:
+    """Drop kwargs the experiment's runner does not accept.
+
+    Runners have heterogeneous signatures (fig7 has no ``scale``; most
+    experiments have no ``backend``), so generic CLI flags are filtered by
+    signature instead of failing — a runner with ``**kwargs`` accepts all.
+    """
+    runner = get_experiment(experiment_id).runner
+    parameters = inspect.signature(runner).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return dict(kwargs)
+    return {key: value for key, value in kwargs.items() if key in parameters}
 
 
 def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
@@ -62,7 +95,11 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
         kwargs["seed"] = args.seed
     if args.scale is not None:
         kwargs["scale"] = args.scale
-    report = run_experiment(experiment_id, **kwargs)
+    if getattr(args, "executor", None) is not None:
+        kwargs["backend"] = args.executor
+    if getattr(args, "degree", None) is not None:
+        kwargs["parallel_degrees"] = (args.degree,)
+    report = run_experiment(experiment_id, **_accepted_kwargs(experiment_id, kwargs))
     return report.rendered()
 
 
@@ -86,15 +123,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.experiment == "all"
             else [args.experiment]
         )
-        chunks = []
-        for target in targets:
-            try:
-                chunks.append(_run_one(target, args))
-            except TypeError:
-                # Experiment does not accept one of the generic kwargs
-                # (e.g. fig7 has no 'scale'); retry with none.
-                report = run_experiment(target)
-                chunks.append(report.rendered())
+        chunks = [_run_one(target, args) for target in targets]
         output = "\n\n\n".join(chunks)
         if args.out is not None:
             args.out.write_text(output + "\n", encoding="utf-8")

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.errors import ValidationError
 
 
@@ -76,6 +78,12 @@ class CPAConfig:
         Hard cap on greedy label-set growth (0 = no cap beyond ``C``).
     exhaustive_label_limit:
         Maximum ``C`` for which exhaustive ``2^C`` MAP search is permitted.
+    dtype:
+        Floating dtype (``"float64"`` / ``"float32"``) of the variational
+        state and likelihood kernels.  ``float32`` halves memory traffic
+        of the ``(·, T, M)`` tensors at a small accuracy cost; the
+        default keeps the paper-exact double-precision trajectories
+        (DESIGN.md §6).
     seed:
         Seed for the random initialisation of the variational state.
     """
@@ -99,6 +107,7 @@ class CPAConfig:
     evidence_weight: float = 1.0
     max_predicted_labels: int = 0
     exhaustive_label_limit: int = 16
+    dtype: str = "float64"
     seed: int = 0
     max_truncation: int = 40
     init_noise: float = 0.5
@@ -129,6 +138,14 @@ class CPAConfig:
             raise ValidationError("evidence_weight must be non-negative")
         if self.max_truncation < 2:
             raise ValidationError("max_truncation must be at least 2")
+        if self.dtype not in ("float32", "float64"):
+            raise ValidationError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
+            )
+
+    def resolve_dtype(self) -> np.dtype:
+        """The numpy dtype of the state arrays and likelihood kernels."""
+        return np.dtype(self.dtype)
 
     def resolve_truncations(self, n_items: int, n_workers: int) -> tuple[int, int]:
         """Concrete ``(T, M)`` for a dataset of the given size.

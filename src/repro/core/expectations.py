@@ -67,7 +67,7 @@ def answer_log_likelihood(
     t, m, c = e_log_psi.shape
     flat = e_log_psi.reshape(t * m, c).T  # (C, T*M)
     if out is None:
-        out = np.empty((n, t, m), dtype=np.float64)
+        out = np.empty((n, t, m), dtype=np.result_type(indicators, e_log_psi))
     for start in range(0, n, chunk_size):
         stop = min(start + chunk_size, n)
         out[start:stop] = (indicators[start:stop] @ flat).reshape(stop - start, t, m)

@@ -12,6 +12,14 @@ One sweep performs, in order:
 Every update is an exact coordinate maximisation of the evidence lower
 bound, so the ELBO computed by :meth:`VariationalInference.elbo` is
 non-decreasing across sweeps — a property the test-suite asserts.
+
+All data-dependent terms are evaluated through the fused
+:class:`~repro.core.kernels.SweepKernel` (DESIGN.md §6): the answer
+log-likelihood tensor is computed once per sweep in pattern space and
+feeds the κ update, the ϕ update, the λ/cell-mass statistics, and the
+ELBO; scatters go through sorted segment reductions; and the chunked
+local updates fan out over the configured
+:class:`~repro.utils.parallel.Executor`.
 """
 
 from __future__ import annotations
@@ -25,22 +33,19 @@ from scipy.special import digamma, gammaln
 
 from repro.core.config import CPAConfig
 from repro.core.expectations import (
-    answer_log_likelihood,
     expected_log_phi_beta,
     expected_log_pi,
     expected_log_psi,
     expected_log_tau,
 )
+from repro.core.kernels import SweepKernel, segment_sum
 from repro.core.state import CPAState, initialize_state
 from repro.data.answers import AnswerMatrix
 from repro.data.dataset import GroundTruth
 from repro.errors import ConvergenceWarning, InferenceError
 from repro.utils.math import log_normalize_rows
+from repro.utils.parallel import Executor, SerialExecutor
 from repro.utils.random import Seed
-
-#: answers processed per vectorised chunk (bounds peak memory of the
-#: (chunk, T, M) intermediates).
-CHUNK = 8192
 
 
 @dataclass
@@ -92,6 +97,9 @@ class VariationalInference:
         evaluation setting of the paper).
     seed:
         Overrides ``config.seed`` for state initialisation.
+    executor:
+        Backend for the chunked local updates and statistics (Alg. 3's
+        MAP/REDUCE shape applied to the batch sweep); serial by default.
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class VariationalInference:
         *,
         fix_singleton_communities: bool = False,
         fix_singleton_clusters: bool = False,
+        executor: Optional[Executor] = None,
     ) -> None:
         """``fix_singleton_*`` implement the §5.4 ablations: each worker its
         own community (`No Z`) / each item its own cluster (`No L`), with
@@ -123,10 +132,19 @@ class VariationalInference:
             )
         self.config = config
         self.answers = answers
+        self.executor = executor or SerialExecutor()
         self.items, self.workers, self.indicators = answers.to_arrays()
         self.n_items = answers.n_items
         self.n_workers = answers.n_workers
         self.n_labels = answers.n_labels
+        self.kernel = SweepKernel(
+            self.items,
+            self.workers,
+            self.indicators,
+            n_items=self.n_items,
+            n_workers=self.n_workers,
+            dtype=config.resolve_dtype(),
+        )
 
         if truth is not None and len(truth) > 0:
             self.truth_indicator = truth.to_indicator_matrix()
@@ -137,10 +155,8 @@ class VariationalInference:
             self.truth_indicator = np.zeros((self.n_items, self.n_labels))
             self.truth_mask = np.zeros(self.n_items, dtype=bool)
 
-        item_sig = np.zeros((self.n_items, self.n_labels))
-        worker_sig = np.zeros((self.n_workers, self.n_labels))
-        np.add.at(item_sig, self.items, self.indicators)
-        np.add.at(worker_sig, self.workers, self.indicators)
+        item_sig = segment_sum(self.indicators, self.items, self.n_items)
+        worker_sig = segment_sum(self.indicators, self.workers, self.n_workers)
         self.state = initialize_state(
             config,
             self.n_items,
@@ -206,25 +222,24 @@ class VariationalInference:
         )
 
     def sweep(self) -> float:
-        """One full coordinate-ascent sweep; returns the max parameter change."""
+        """One full coordinate-ascent sweep; returns the max parameter change.
+
+        The answer log-likelihood is evaluated exactly once (in pattern
+        space, :meth:`SweepKernel.begin_sweep`) and shared by the κ and ϕ
+        updates and the λ statistics — the seed implementation re-evaluated
+        it for each consumer.
+        """
         state = self.state
         e_log_pi = expected_log_pi(state.rho)
         e_log_tau = expected_log_tau(state.ups)
         e_log_psi = expected_log_psi(state.lam)
+        self.kernel.begin_sweep(e_log_psi)
 
         # --- local update: worker communities (Eq. 2) --------------------
         kappa_delta = 0.0
         if not self.fix_singleton_communities:
             kappa_scores = np.tile(e_log_pi, (self.n_workers, 1))
-            for start in range(0, self.items.size, CHUNK):
-                stop = min(start + CHUNK, self.items.size)
-                like = answer_log_likelihood(
-                    self.indicators[start:stop], e_log_psi
-                )  # (n, T, M)
-                weighted = np.einsum(
-                    "nt,ntm->nm", state.phi[self.items[start:stop]], like
-                )
-                np.add.at(kappa_scores, self.workers[start:stop], weighted)
+            self.kernel.add_worker_scores(kappa_scores, state.phi, self.executor)
             new_kappa = log_normalize_rows(kappa_scores)
             kappa_delta = float(np.max(np.abs(new_kappa - state.kappa)))
             state.kappa = new_kappa
@@ -233,13 +248,7 @@ class VariationalInference:
         phi_delta = 0.0
         if not self.fix_singleton_clusters:
             phi_scores = np.tile(e_log_tau, (self.n_items, 1))
-            for start in range(0, self.items.size, CHUNK):
-                stop = min(start + CHUNK, self.items.size)
-                like = answer_log_likelihood(self.indicators[start:stop], e_log_psi)
-                weighted = np.einsum(
-                    "nm,ntm->nt", state.kappa[self.workers[start:stop]], like
-                )
-                np.add.at(phi_scores, self.items[start:stop], weighted)
+            self.kernel.add_item_scores(phi_scores, state.kappa, self.executor)
             if self.truth_mask.any():
                 e_log_phi, e_log_phi_c = expected_log_phi_beta(state.zeta)
                 y = self.truth_indicator[self.truth_mask]
@@ -273,18 +282,9 @@ class VariationalInference:
     def _update_profiles(self) -> None:
         """Answer-profile posteriors ``λ`` (Eq. 6) and the cell masses."""
         state = self.state
-        t, m, c = state.lam.shape
-        counts = np.zeros((t, m, c))
-        mass = np.zeros((t, m))
-        for start in range(0, self.items.size, CHUNK):
-            stop = min(start + CHUNK, self.items.size)
-            phi_n = state.phi[self.items[start:stop]]  # (n, T)
-            kappa_n = state.kappa[self.workers[start:stop]]  # (n, M)
-            joint = phi_n[:, :, None] * kappa_n[:, None, :]  # (n, T, M)
-            mass += joint.sum(axis=0)
-            counts += np.einsum(
-                "ntm,nc->tmc", joint, self.indicators[start:stop]
-            )
+        counts, mass = self.kernel.cell_statistics(
+            state.phi, state.kappa, self.executor
+        )
         state.lam = self.config.gamma0 + counts
         state.cell_mass = mass
 
@@ -318,15 +318,9 @@ class VariationalInference:
         e_log_phi, e_log_phi_c = expected_log_phi_beta(state.zeta)
 
         value = 0.0
-        # E[ln p(x | z, l, ψ)]
-        for start in range(0, self.items.size, CHUNK):
-            stop = min(start + CHUNK, self.items.size)
-            like = answer_log_likelihood(self.indicators[start:stop], e_log_psi)
-            joint = (
-                state.phi[self.items[start:stop]][:, :, None]
-                * state.kappa[self.workers[start:stop]][:, None, :]
-            )
-            value += float(np.sum(joint * like))
+        # E[ln p(x | z, l, ψ)] — reuses the pattern-space joint mass cached
+        # by the last cell-statistics pass when ϕ/κ are unchanged.
+        value += self.kernel.data_elbo(state.phi, state.kappa, e_log_psi, self.executor)
         # E[ln p(z | π)] and E[ln p(l | τ)]
         value += float(state.kappa.sum(axis=0) @ e_log_pi)
         value += float(state.phi.sum(axis=0) @ e_log_tau)

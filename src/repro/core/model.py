@@ -88,16 +88,21 @@ class CPAModel:
         use_truth: bool = False,
         seed: Seed = None,
         track_elbo: bool = False,
+        executor: Optional[Executor] = None,
     ) -> "CPAModel":
         """Batch variational inference (paper Alg. 1).
 
         ``use_truth=True`` lets inference see the dataset's (possibly
         partial) ground truth — the paper's "test questions" setting.  The
         default matches the paper's evaluation protocol (``y = ∅``).
+        ``executor`` fans the chunked local updates out over a
+        thread/process pool (serial by default).
         """
         answers, dataset_truth = _split_input(data, truth)
         observed = (truth or dataset_truth) if (use_truth or truth is not None) else None
-        engine = VariationalInference(self.config, answers, truth=observed, seed=seed)
+        engine = VariationalInference(
+            self.config, answers, truth=observed, seed=seed, executor=executor
+        )
         self._result = engine.run(track_elbo=track_elbo)
         self._state = self._result.state
         self._answers = answers

@@ -76,7 +76,12 @@ class CPAState:
             if np.any(array <= 0):
                 raise ValidationError(f"{name} must stay strictly positive")
         for name, array in (("kappa", self.kappa), ("phi", self.phi)):
-            if np.any(array < -1e-9) or not np.allclose(array.sum(axis=-1), 1.0, atol=1e-6):
+            # float32 rows accumulate roundoff proportional to the row
+            # length; loosen the normalisation check accordingly.
+            single = array.dtype == np.float32
+            atol = 1e-4 if single else 1e-6
+            floor = -1e-6 if single else -1e-9
+            if np.any(array < floor) or not np.allclose(array.sum(axis=-1), 1.0, atol=atol):
                 raise ValidationError(f"{name} rows must be distributions")
 
     def copy(self) -> "CPAState":
@@ -123,7 +128,9 @@ class CPAState:
         """Recover ``ϕ`` from ``µ`` via the softmax transform (Eq. 16/17)."""
         if self.mu is None:
             raise ValidationError("mu has not been initialised")
-        padded = np.concatenate([self.mu, np.zeros((self.n_items, 1))], axis=1)
+        padded = np.concatenate(
+            [self.mu, np.zeros((self.n_items, 1), dtype=self.mu.dtype)], axis=1
+        )
         padded -= padded.max(axis=1, keepdims=True)
         expd = np.exp(padded)
         self.phi = expd / expd.sum(axis=1, keepdims=True)
@@ -197,6 +204,7 @@ def initialize_state(
     """
     rng = RandomState(config.seed if seed is None else seed)
     n_clusters, n_communities = config.resolve_truncations(n_items, n_workers)
+    dtype = config.resolve_dtype()
     hard_weight = 0.8
 
     def random_hard(rows: int, cols: int) -> np.ndarray:
@@ -218,19 +226,22 @@ def initialize_state(
         )
     else:
         phi = random_hard(n_items, n_clusters)
+    kappa = kappa.astype(dtype, copy=False)
+    phi = phi.astype(dtype, copy=False)
 
-    rho = np.empty((n_communities - 1, 2))
+    rho = np.empty((n_communities - 1, 2), dtype=dtype)
     rho[:, 0] = 1.0
     rho[:, 1] = config.alpha
-    ups = np.empty((n_clusters - 1, 2))
+    ups = np.empty((n_clusters - 1, 2), dtype=dtype)
     ups[:, 0] = 1.0
     ups[:, 1] = config.epsilon
 
-    lam = config.gamma0 * (
-        1.0 + 0.1 * rng.random((n_clusters, n_communities, n_labels))
-    )
-    zeta = np.full((n_clusters, n_labels, 2), config.eta0, dtype=float)
-    cell_mass = np.zeros((n_clusters, n_communities))
+    lam = (
+        config.gamma0
+        * (1.0 + 0.1 * rng.random((n_clusters, n_communities, n_labels)))
+    ).astype(dtype, copy=False)
+    zeta = np.full((n_clusters, n_labels, 2), config.eta0, dtype=dtype)
+    cell_mass = np.zeros((n_clusters, n_communities), dtype=dtype)
 
     return CPAState(
         n_items=n_items,

@@ -32,6 +32,12 @@ from repro.core.expectations import (
     expected_log_psi,
     expected_log_tau,
 )
+from repro.core.kernels import (
+    grouped_matmul,
+    grouped_outer,
+    segment_sum,
+    unique_patterns,
+)
 from repro.core.natural_gradients import (
     compute_global_targets,
     interpolate,
@@ -52,7 +58,10 @@ class _BatchData:
 
     Sorting makes each worker's answers a contiguous slice, so a chunk of
     workers maps to a contiguous answer range (``worker_offsets``) — the
-    layout the MAP phase shards on.
+    layout the MAP phase shards on.  The batch's distinct label-set
+    patterns are deduplicated once here (``patterns`` / ``pattern_index``)
+    so the MAP phase evaluates the answer log-likelihood in pattern space
+    and gathers per answer (DESIGN.md §6).
     """
 
     items: np.ndarray  # (N_b,) global item ids, worker-sorted
@@ -62,12 +71,19 @@ class _BatchData:
     worker_local: np.ndarray  # (N_b,) local worker index per answer
     item_local: np.ndarray  # (N_b,) local item index per answer
     worker_offsets: np.ndarray  # (len(batch_workers)+1,) slice boundaries
+    patterns: np.ndarray  # (P, C) distinct label-set patterns
+    pattern_index: np.ndarray  # (N_b,) pattern row per answer, worker-sorted
+    pattern_order: np.ndarray  # (N_b,) permutation grouping answers by pattern
+    pattern_offsets: np.ndarray  # (P+1,) group boundaries in pattern order
 
 
-def _prepare_batch(batch: AnswerBatch) -> Optional[_BatchData]:
+def _prepare_batch(
+    batch: AnswerBatch, dtype: np.dtype = np.float64
+) -> Optional[_BatchData]:
     items, workers, indicators = batch.matrix.to_arrays()
     if items.size == 0:
         return None
+    indicators = np.ascontiguousarray(indicators, dtype=dtype)
     batch_workers, worker_local = np.unique(workers, return_inverse=True)
     batch_items, item_local = np.unique(items, return_inverse=True)
     order = np.argsort(worker_local, kind="stable")
@@ -75,80 +91,109 @@ def _prepare_batch(batch: AnswerBatch) -> Optional[_BatchData]:
     offsets = np.searchsorted(
         worker_local, np.arange(batch_workers.size + 1)
     ).astype(np.int64)
+    indicators = indicators[order]
+    patterns, pattern_index = unique_patterns(indicators)
+    pattern_order = np.argsort(pattern_index, kind="stable")
+    pattern_offsets = np.searchsorted(
+        pattern_index[pattern_order], np.arange(patterns.shape[0] + 1)
+    ).astype(np.int64)
     return _BatchData(
         items=items[order],
-        indicators=indicators[order],
+        indicators=indicators,
         batch_workers=batch_workers,
         batch_items=batch_items,
         worker_local=worker_local,
         item_local=item_local[order],
         worker_offsets=offsets,
+        patterns=patterns,
+        pattern_index=pattern_index,
+        pattern_order=pattern_order,
+        pattern_offsets=pattern_offsets,
     )
 
 
-#: One MAP task: (chunk_start, chunk_stop, x, phi_n, local_items,
-#: chunk_local_worker, n_batch_items, e_log_pi, e_log_psi).  The arrays are
-#: pre-sliced to the chunk's answers so a process pool ships only that
-#: lane's share of the batch.
-_MapTask = Tuple[
-    int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, np.ndarray, np.ndarray
-]
+@dataclass(frozen=True)
+class _ChunkPlan:
+    """Static per-chunk layout of the MAP phase, computed once per batch.
+
+    Everything here depends only on the batch layout and the executor
+    degree — not on the variational parameters — so the
+    ``svi_iterations`` local refinement passes reuse one plan instead of
+    re-deriving the pattern grouping on every iteration.
+    """
+
+    start: int  # first batch-worker index of the chunk
+    stop: int  # one past the last batch-worker index
+    lo: int  # first answer (worker-sorted) of the chunk
+    worker_starts: np.ndarray  # (stop-start,) reduceat offsets, chunk-local
+    pattern_order: np.ndarray  # (n,) permutation grouping the chunk by pattern
+    group_ids: np.ndarray  # patterns present in the chunk
+    group_offsets: np.ndarray  # (len(group_ids)+1,) boundaries in pattern order
+    local_items_p: np.ndarray  # (n,) local item ids, pattern order
+    local_worker_p: np.ndarray  # (n,) chunk-local worker ids, pattern order
+
+
+#: One MAP task: (plan, pattern_like, phi_p, n_batch_items, n_patterns,
+#: e_log_pi).  Per-answer arrays inside the plan are pre-sliced to the
+#: chunk so a process pool ships only that lane's share of the batch (plus
+#: the shared (P, T, M) pattern tensor, which replaces the per-answer
+#: indicator payload entirely).
+_MapTask = Tuple[_ChunkPlan, np.ndarray, np.ndarray, int, int, np.ndarray]
 
 
 def _map_worker_task(
     task: _MapTask,
-) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """MAP phase of paper Alg. 3 for one chunk of batch workers.
 
     Module-level (hence picklable for process pools).  Returns the chunk
     bounds plus: the chunk's ``κ`` rows, its contribution to the per-item
-    evidence ``a_it``, and its partial λ-count / cell-mass statistics.
+    evidence ``a_it``, its pattern-space joint mass (the λ statistics are
+    finished centrally with one matmul against the pattern table), and its
+    κ column mass.  Answers are worker-sorted, so the per-worker reduction
+    is a single ``np.add.reduceat`` over the plan's ``worker_starts``;
+    every contraction against the likelihood tensor runs as per-pattern
+    BLAS matmuls (grouped_matmul / grouped_outer) with no ``(n, T, M)``
+    intermediate.
     """
-    (
-        start,
-        stop,
-        x,
-        phi_n,
-        local_items,
-        local_worker,
-        n_batch_items,
-        e_log_pi,
-        e_log_psi,
-    ) = task
-    n_chunk_workers = stop - start
-    n_clusters, n_communities, n_labels = e_log_psi.shape
+    plan, pattern_like, phi_p, n_batch_items, n_patterns, e_log_pi = task
+    n_chunk_workers = plan.stop - plan.start
+    n_clusters, n_communities = pattern_like.shape[1], pattern_like.shape[2]
 
-    if x.shape[0] == 0:
+    if phi_p.shape[0] == 0:
         return (
-            start,
-            stop,
+            plan.start,
+            plan.stop,
             np.tile(log_normalize_rows(e_log_pi[None, :]), (n_chunk_workers, 1)),
             np.zeros((n_batch_items, n_clusters)),
-            np.zeros((n_clusters, n_communities, n_labels)),
-            np.zeros((n_clusters, n_communities)),
+            np.zeros((n_patterns, n_clusters, n_communities)),
             np.zeros(n_communities),
         )
 
-    like = answer_log_likelihood(x, e_log_psi)  # (n, T, M)
-
     # κ update (Eq. 2): aggregate ϕ-weighted likelihood per worker.
-    weighted = np.einsum("nt,ntm->nm", phi_n, like)
-    scores = np.tile(e_log_pi, (n_chunk_workers, 1))
-    np.add.at(scores, local_worker, weighted)
+    weighted_p = grouped_matmul(
+        pattern_like, plan.group_ids, plan.group_offsets, phi_p, swap=False
+    )
+    weighted = np.empty_like(weighted_p)
+    weighted[plan.pattern_order] = weighted_p  # back to worker-sorted order
+    scores = e_log_pi[None, :] + np.add.reduceat(
+        weighted, plan.worker_starts, axis=0
+    )
     kappa_chunk = log_normalize_rows(scores)
 
     # a_it contribution (Eq. 15) with the freshly updated κ of this chunk.
-    kappa_n = kappa_chunk[local_worker]
-    contrib = np.einsum("nm,ntm->nt", kappa_n, like)
-    item_evidence = np.zeros((n_batch_items, n_clusters))
-    np.add.at(item_evidence, local_items, contrib)
+    kappa_p = kappa_chunk[plan.local_worker_p]
+    contrib_p = grouped_matmul(
+        pattern_like, plan.group_ids, plan.group_offsets, kappa_p, swap=True
+    )
+    item_evidence = segment_sum(contrib_p, plan.local_items_p, n_batch_items)
 
-    # Partial sufficient statistics for the global step (Eq. 6 / Eq. 9).
-    joint = phi_n[:, :, None] * kappa_n[:, None, :]  # (n, T, M)
-    counts = np.einsum("ntm,nc->tmc", joint, x)
-    mass = joint.sum(axis=0)
+    # Pattern-space joint mass for the global step (Eq. 6 / Eq. 9).
+    joint_pattern = grouped_outer(
+        phi_p, kappa_p, plan.group_ids, plan.group_offsets, n_patterns
+    )
     kappa_mass = kappa_chunk.sum(axis=0)
-    return start, stop, kappa_chunk, item_evidence, counts, mass, kappa_mass
+    return plan.start, plan.stop, kappa_chunk, item_evidence, joint_pattern, kappa_mass
 
 
 class StochasticInference:
@@ -198,6 +243,10 @@ class StochasticInference:
         self.state.sync_mu_from_phi()
         self._seed = seed
         self._seeded = False
+        self._pattern_like_cache: Optional[
+            Tuple[_BatchData, np.ndarray, np.ndarray]
+        ] = None
+        self._chunk_plan_cache: Optional[Tuple[_BatchData, int, List["_ChunkPlan"]]] = None
         self._truth = truth
         self.total_answers_hint = total_answers_hint
         if truth is not None and len(truth) > 0:
@@ -222,7 +271,7 @@ class StochasticInference:
 
         Empty batches advance the batch counter but change nothing.
         """
-        data = _prepare_batch(batch)
+        data = _prepare_batch(batch, self.config.resolve_dtype())
         self.state.batches_seen += 1
         rate = learning_rate(self.state.batches_seen, self.config.forgetting_rate)
         if data is None:
@@ -374,12 +423,9 @@ class StochasticInference:
         subsequent damped steps refine — rather than erase — the seeded
         structure.
         """
-        item_sig = np.zeros((self.n_items, self.n_labels))
-        worker_sig = np.zeros((self.n_workers, self.n_labels))
-        global_items = data.items
         global_workers = data.batch_workers[data.worker_local]
-        np.add.at(item_sig, global_items, data.indicators)
-        np.add.at(worker_sig, global_workers, data.indicators)
+        item_sig = segment_sum(data.indicators, data.items, self.n_items)
+        worker_sig = segment_sum(data.indicators, global_workers, self.n_workers)
 
         seeded = initialize_state(
             self.config,
@@ -420,6 +466,64 @@ class StochasticInference:
 
     # ------------------------------------------------------------------ phases
 
+    def _pattern_likelihood(self, data: _BatchData, e_log_psi: np.ndarray) -> np.ndarray:
+        """Pattern-space answer log-likelihood, evaluated once per batch.
+
+        ``process_batch`` computes ``e_log_psi`` once and passes the same
+        array to every local refinement iteration, so the identity-keyed
+        cache makes the ``(P, C) @ (C, T·M)`` matmul a once-per-batch cost
+        (the seed path re-evaluated the full ``(N_b, C)`` matmul inside
+        every local iteration).
+        """
+        cache = self._pattern_like_cache
+        if cache is not None and cache[0] is data and cache[1] is e_log_psi:
+            return cache[2]
+        pattern_like = answer_log_likelihood(data.patterns, e_log_psi)
+        self._pattern_like_cache = (data, e_log_psi, pattern_like)
+        return pattern_like
+
+    def _chunk_plans(self, data: _BatchData) -> List[_ChunkPlan]:
+        """Static per-chunk MAP layouts, cached per (batch, degree).
+
+        The pattern grouping and worker/item index bookkeeping depend only
+        on the batch layout, so the ``svi_iterations`` local passes (and
+        their per-chunk tasks) share one plan instead of re-sorting every
+        iteration.
+        """
+        cache = self._chunk_plan_cache
+        degree = self.executor.degree
+        if cache is not None and cache[0] is data and cache[1] == degree:
+            return cache[2]
+        plans: List[_ChunkPlan] = []
+        for chunk in split_chunks(data.batch_workers.size, degree):
+            lo = int(data.worker_offsets[chunk.start])
+            hi = int(data.worker_offsets[chunk.stop])
+            pattern_index = data.pattern_index[lo:hi]
+            pattern_order = np.argsort(pattern_index, kind="stable")
+            group_ids, group_starts = np.unique(
+                pattern_index[pattern_order], return_index=True
+            )
+            worker_starts = data.worker_offsets[chunk.start : chunk.stop] - lo
+            answers_per_worker = np.diff(np.append(worker_starts, pattern_index.size))
+            local_worker = np.repeat(
+                np.arange(chunk.stop - chunk.start), answers_per_worker
+            )
+            plans.append(
+                _ChunkPlan(
+                    start=chunk.start,
+                    stop=chunk.stop,
+                    lo=lo,
+                    worker_starts=worker_starts,
+                    pattern_order=pattern_order,
+                    group_ids=group_ids,
+                    group_offsets=np.append(group_starts, pattern_index.size),
+                    local_items_p=data.item_local[lo:hi][pattern_order],
+                    local_worker_p=local_worker[pattern_order],
+                )
+            )
+        self._chunk_plan_cache = (data, degree, plans)
+        return plans
+
     def _map_reduce(
         self,
         data: _BatchData,
@@ -432,49 +536,63 @@ class StochasticInference:
         Tasks are pre-sliced per chunk (answers are worker-sorted, so a
         chunk of workers is a contiguous answer range) before submission,
         keeping process-pool payloads proportional to each lane's share.
+        The λ counts are reduced in pattern space and finished with a
+        single matmul against the batch's pattern table.
         """
-        phi_n = phi_batch[data.item_local]  # (N_b, T)
-        tasks: List[_MapTask] = []
-        for chunk in split_chunks(data.batch_workers.size, self.executor.degree):
-            lo = int(data.worker_offsets[chunk.start])
-            hi = int(data.worker_offsets[chunk.stop])
-            tasks.append(
-                (
-                    chunk.start,
-                    chunk.stop,
-                    data.indicators[lo:hi],
-                    phi_n[lo:hi],
-                    data.item_local[lo:hi],
-                    data.worker_local[lo:hi] - chunk.start,
-                    data.batch_items.size,
-                    e_log_pi,
-                    e_log_psi,
-                )
+        pattern_like = self._pattern_likelihood(data, e_log_psi)
+        n_patterns = data.patterns.shape[0]
+        tasks: List[_MapTask] = [
+            (
+                plan,
+                pattern_like,
+                phi_batch[plan.local_items_p],  # ϕ rows, pattern order
+                data.batch_items.size,
+                n_patterns,
+                e_log_pi,
             )
+            for plan in self._chunk_plans(data)
+        ]
         pieces = self.executor.map_tasks(_map_worker_task, tasks)
 
-        kappa = np.empty((data.batch_workers.size, e_log_pi.size))
-        evidence = np.zeros((data.batch_items.size, self.state.n_clusters))
-        counts = np.zeros_like(self.state.lam)
-        mass = np.zeros_like(self.state.cell_mass)
-        kappa_mass = np.zeros(self.state.n_communities)
-        for start, stop, kappa_chunk, ev, cnt, ms, km in pieces:
+        dtype = self.state.lam.dtype
+        kappa = np.empty((data.batch_workers.size, e_log_pi.size), dtype=dtype)
+        evidence = np.zeros((data.batch_items.size, self.state.n_clusters), dtype=dtype)
+        joint_pattern = np.zeros(
+            (n_patterns, self.state.n_clusters, self.state.n_communities), dtype=dtype
+        )
+        kappa_mass = np.zeros(self.state.n_communities, dtype=dtype)
+        for start, stop, kappa_chunk, ev, jp, km in pieces:
             kappa[start:stop] = kappa_chunk
             evidence += ev
-            counts += cnt
-            mass += ms
+            joint_pattern += jp
             kappa_mass += km
+        counts = np.einsum("ptm,pc->tmc", joint_pattern, data.patterns, optimize=True)
+        mass = joint_pattern.sum(axis=0)
         return kappa, evidence, counts, mass, kappa_mass
 
     def _batch_cell_statistics(
         self, data: _BatchData, phi_batch: np.ndarray, kappa_batch: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Eq. 6 sufficient statistics of one batch (used by seeding)."""
-        phi_rows = phi_batch[data.item_local]
-        kappa_rows = kappa_batch[data.worker_local]
-        joint = phi_rows[:, :, None] * kappa_rows[:, None, :]  # (N_b, T, M)
-        counts = np.einsum("ntm,nc->tmc", joint, data.indicators)
-        return counts, joint.sum(axis=0)
+        """Eq. 6 sufficient statistics of one batch (used by seeding).
+
+        Reduced in pattern space: the ``O(N_b·T·M·C)`` contraction becomes
+        per-pattern outer-product matmuls plus a ``(T·M, P) @ (P, C)``
+        matmul against the pattern table.
+        """
+        n_patterns = data.patterns.shape[0]
+        order = data.pattern_order  # precomputed batch-level grouping
+        joint_pattern = grouped_outer(
+            phi_batch[data.item_local[order]],
+            kappa_batch[data.worker_local[order]],
+            np.arange(n_patterns),
+            data.pattern_offsets,
+            n_patterns,
+        )
+        p, t, m = joint_pattern.shape
+        counts = (joint_pattern.reshape(p, t * m).T @ data.patterns).reshape(
+            t, m, data.patterns.shape[1]
+        )
+        return counts, joint_pattern.sum(axis=0)
 
     def _supervised_scores(self, data: _BatchData) -> np.ndarray:
         """Observed-truth contribution to the batch items' cluster scores."""

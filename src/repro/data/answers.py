@@ -159,29 +159,24 @@ class AnswerMatrix:
         return 1.0 - self.n_answers / (self.n_items * self.n_workers)
 
     def label_counts(self) -> np.ndarray:
-        """How many answers include each label (length-``C`` vector)."""
-        counts = np.zeros(self.n_labels, dtype=int)
-        for labels in self._entries.values():
-            for label in labels:
-                counts[label] += 1
-        return counts
+        """How many answers include each label (length-``C`` vector).
+
+        Derived from the indicator matrix of :meth:`to_arrays` (a column
+        sum), so it shares the cached vectorised export.
+        """
+        _, _, indicators = self.to_arrays()
+        return indicators.sum(axis=0).astype(np.int64)
 
     def cooccurrence_counts(self) -> np.ndarray:
         """Symmetric ``C × C`` matrix of within-answer label co-occurrences.
 
         The diagonal holds per-label answer counts; off-diagonal entry
         ``(a, b)`` counts answers containing both ``a`` and ``b`` (the raw
-        statistic behind the paper's Fig 1 graph).
+        statistic behind the paper's Fig 1 graph).  Computed as the Gram
+        matrix ``Xᵀ X`` of the 0/1 indicator matrix.
         """
-        counts = np.zeros((self.n_labels, self.n_labels), dtype=int)
-        for labels in self._entries.values():
-            idx = sorted(labels)
-            for pos, a in enumerate(idx):
-                counts[a, a] += 1
-                for b in idx[pos + 1 :]:
-                    counts[a, b] += 1
-                    counts[b, a] += 1
-        return counts
+        _, _, indicators = self.to_arrays()
+        return np.rint(indicators.T @ indicators).astype(np.int64)
 
     # --------------------------------------------------------------- export
 
@@ -190,17 +185,31 @@ class AnswerMatrix:
 
         ``label_indicators`` is an ``(n_answers, C)`` float matrix of 0/1
         rows — the representation consumed by the vectorised inference
-        kernels.  The result is cached until the matrix is next mutated.
+        kernels.  Built entirely with array ops (one flat pass over the
+        label sets feeding a fancy-index assignment); the result is cached
+        until the matrix is next mutated.
         """
         if self._arrays_cache is None:
             n = self.n_answers
-            items = np.empty(n, dtype=np.int64)
-            workers = np.empty(n, dtype=np.int64)
+            pairs = np.fromiter(
+                (index for pair in self._entries for index in pair),
+                dtype=np.int64,
+                count=2 * n,
+            ).reshape(n, 2)
+            items = np.ascontiguousarray(pairs[:, 0])
+            workers = np.ascontiguousarray(pairs[:, 1])
+            lengths = np.fromiter(
+                (len(labels) for labels in self._entries.values()),
+                dtype=np.int64,
+                count=n,
+            )
+            flat_labels = np.fromiter(
+                (label for labels in self._entries.values() for label in labels),
+                dtype=np.int64,
+                count=int(lengths.sum()),
+            )
             indicators = np.zeros((n, self.n_labels), dtype=np.float64)
-            for row, ((item, worker), labels) in enumerate(self._entries.items()):
-                items[row] = item
-                workers[row] = worker
-                indicators[row, sorted(labels)] = 1.0
+            indicators[np.repeat(np.arange(n), lengths), flat_labels] = 1.0
             self._arrays_cache = (items, workers, indicators)
         items, workers, indicators = self._arrays_cache
         return items, workers, indicators

@@ -19,13 +19,26 @@ from repro.errors import ValidationError
 EPS = 1e-12
 
 
+def _as_floating(a: np.ndarray) -> np.ndarray:
+    """View ``a`` as a floating array, preserving float32/float64 inputs.
+
+    Integer/bool inputs are promoted to float64 (the historical behaviour);
+    floating inputs keep their dtype so the ``CPAConfig.dtype`` policy
+    survives the normalisation helpers.
+    """
+    a = np.asarray(a)
+    if not np.issubdtype(a.dtype, np.floating):
+        return a.astype(np.float64)
+    return a
+
+
 def logsumexp(a: np.ndarray, axis: int = -1, keepdims: bool = False) -> np.ndarray:
     """Numerically stable ``log(sum(exp(a)))`` along ``axis``.
 
     Unlike :func:`scipy.special.logsumexp` this keeps the semantics needed by
     the inference loop: all-``-inf`` rows reduce to ``-inf`` without warnings.
     """
-    a = np.asarray(a, dtype=float)
+    a = _as_floating(a)
     amax = np.max(a, axis=axis, keepdims=True)
     amax = np.where(np.isfinite(amax), amax, 0.0)
     with np.errstate(divide="ignore"):
@@ -42,7 +55,7 @@ def log_normalize_rows(log_weights: np.ndarray) -> np.ndarray:
     an explicit, documented fallback used when an item or worker carries no
     evidence at all (e.g. an empty batch in online learning).
     """
-    log_weights = np.asarray(log_weights, dtype=float)
+    log_weights = _as_floating(log_weights)
     norm = logsumexp(log_weights, axis=-1, keepdims=True)
     with np.errstate(invalid="ignore"):
         probs = np.exp(log_weights - norm)
@@ -59,7 +72,7 @@ def softmax_rows(scores: np.ndarray) -> np.ndarray:
 
 def normalize_rows(weights: np.ndarray) -> np.ndarray:
     """Normalise non-negative weights row-wise; uniform fallback for zero rows."""
-    weights = np.asarray(weights, dtype=float)
+    weights = _as_floating(weights)
     if np.any(weights < 0):
         raise ValidationError("normalize_rows requires non-negative weights")
     totals = weights.sum(axis=-1, keepdims=True)
@@ -94,8 +107,8 @@ def stick_breaking_expectations(alpha1: np.ndarray, alpha2: np.ndarray) -> np.nd
 
     Parameters are arrays of length ``K-1``; the output has length ``K``.
     """
-    alpha1 = np.asarray(alpha1, dtype=float)
-    alpha2 = np.asarray(alpha2, dtype=float)
+    alpha1 = _as_floating(alpha1)
+    alpha2 = _as_floating(alpha2)
     if alpha1.shape != alpha2.shape or alpha1.ndim != 1:
         raise ValidationError("stick parameters must be 1-D arrays of equal length")
     if np.any(alpha1 <= 0) or np.any(alpha2 <= 0):
@@ -104,7 +117,7 @@ def stick_breaking_expectations(alpha1: np.ndarray, alpha2: np.ndarray) -> np.nd
     e_log_v = digamma(alpha1) - total
     e_log_1mv = digamma(alpha2) - total
     k = alpha1.shape[0] + 1
-    out = np.empty(k, dtype=float)
+    out = np.empty(k, dtype=alpha1.dtype)
     cum = np.concatenate([[0.0], np.cumsum(e_log_1mv)])
     out[:-1] = e_log_v + cum[:-1]
     out[-1] = cum[-1]

@@ -88,23 +88,38 @@ class SerialExecutor(Executor):
 
 
 class ThreadExecutor(Executor):
-    """Thread-pool backend; ``degree`` threads over ``degree`` chunks."""
+    """Thread-pool backend; ``degree`` threads over ``degree`` chunks.
+
+    The pool is created lazily on first use, so constructing an executor
+    that is never exercised cannot leak worker threads.
+    """
 
     def __init__(self, degree: int | None = None) -> None:
         if degree is not None and degree <= 0:
             raise ValidationError("degree must be positive")
         self.degree = int(degree or os.cpu_count() or 1)
-        self._pool = ThreadPoolExecutor(max_workers=self.degree)
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise RuntimeError("executor has been closed")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.degree)
+        return self._pool
 
     def map_chunks(self, func: Callable[[Sequence[int]], R], n: int) -> List[R]:
         chunks = split_chunks(n, self.degree)
-        return list(self._pool.map(func, chunks))
+        return list(self._ensure_pool().map(func, chunks))
 
     def map_tasks(self, func: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
-        return list(self._pool.map(func, tasks))
+        return list(self._ensure_pool().map(func, tasks))
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 class ProcessExecutor(Executor):
@@ -119,17 +134,30 @@ class ProcessExecutor(Executor):
         if degree is not None and degree <= 0:
             raise ValidationError("degree must be positive")
         self.degree = int(degree or os.cpu_count() or 1)
-        self._pool = ProcessPoolExecutor(max_workers=self.degree)
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        # Lazy: forking worker processes is expensive and constructing an
+        # executor must never leak them if it goes unused.
+        if self._closed:
+            raise RuntimeError("executor has been closed")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.degree)
+        return self._pool
 
     def map_chunks(self, func: Callable[[Sequence[int]], R], n: int) -> List[R]:
         chunks = split_chunks(n, self.degree)
-        return list(self._pool.map(func, chunks))
+        return list(self._ensure_pool().map(func, chunks))
 
     def map_tasks(self, func: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
-        return list(self._pool.map(func, tasks))
+        return list(self._ensure_pool().map(func, tasks))
 
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 def make_executor(kind: str = "serial", degree: int | None = None) -> Executor:

@@ -158,3 +158,29 @@ class TestCli:
     def test_bad_seed_list(self):
         with pytest.raises(SystemExit):
             main(["run", "table1", "--seeds", "a,b"])
+
+    def test_executor_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "fig7", "--executor", "thread", "--degree", "2"]
+        )
+        assert args.executor == "thread" and args.degree == 2
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig7", "--executor", "gpu"])
+
+    def test_executor_kwargs_filtered_by_signature(self):
+        from repro.cli import _accepted_kwargs
+
+        generic = {"scale": 0.5, "backend": "thread", "parallel_degrees": (2,)}
+        fig7_kwargs = _accepted_kwargs("fig7", generic)
+        assert fig7_kwargs == {"backend": "thread", "parallel_degrees": (2,)}
+        table3_kwargs = _accepted_kwargs("table3", generic)
+        assert table3_kwargs == {"scale": 0.5}
+
+    def test_run_with_executor_flag_on_plain_experiment(self, capsys):
+        # table1 takes no executor kwargs: the flag must be filtered, not fail
+        assert main(["run", "table1", "--executor", "thread", "--degree", "2"]) == 0
+        assert "Motivating example" in capsys.readouterr().out
