@@ -6,7 +6,11 @@ Measures, at several answer volumes, the wall-clock cost of
   and one ELBO evaluation, fused kernels vs the seed implementation kept
   in :mod:`repro.core.reference`;
 * one SVI batch step (``StochasticInference.process_batch``), same
-  comparison.
+  comparison;
+* the same sweep/ELBO/batch measurements with the **sharded** backend
+  (``CPAConfig.backend = "sharded"``, ``SHARDED_K`` shards, serial
+  executor) so the shard plan/merge overhead is a tracked configuration
+  of the cross-PR regression gate (``benchmarks/check_regression.py``).
 
 The synthetic workload mirrors the paper's partial-agreement structure:
 label sets are drawn from a bounded pattern pool with a Zipf-like
@@ -34,6 +38,9 @@ from repro.data.answers import AnswerMatrix
 
 #: label-space size of the synthetic workload (movie-genre scale).
 N_LABELS = 12
+
+#: shard count of the tracked sharded-backend configuration.
+SHARDED_K = 4
 
 
 def build_matrix(
@@ -87,19 +94,31 @@ def _time_calls(func, repeats: int) -> float:
 
 
 def bench_batch_sweep(
-    n_answers: int, *, sweeps: int = 2, dtype: str = "float64", seed: int = 0
+    n_answers: int,
+    *,
+    sweeps: int = 2,
+    dtype: str = "float64",
+    seed: int = 0,
+    include_reference: bool = True,
 ) -> Dict[str, object]:
-    """Fused vs seed cost of one batch-VI sweep (and one ELBO evaluation)."""
+    """Fused vs seed cost of one batch-VI sweep (and one ELBO evaluation).
+
+    ``include_reference=False`` skips the frozen-seed engine — its
+    timings are never gated, so regression re-measurements drop them to
+    confirm or clear a finding at a fraction of the wall-clock.
+    """
     matrix = build_matrix(n_answers, seed=seed)
     config = CPAConfig(seed=seed, dtype=dtype)
     fused = VariationalInference(config, matrix)
-    reference = ReferenceVariationalInference(config, matrix)
+    sharded = VariationalInference(
+        config.with_overrides(backend="sharded", n_shards=SHARDED_K), matrix
+    )
 
     fused_sweep = _time_calls(fused.sweep, sweeps)
     fused_elbo = _time_calls(fused.elbo, sweeps)
-    reference_sweep = _time_calls(reference.sweep, sweeps)
-    reference_elbo = _time_calls(reference.elbo, sweeps)
-    return {
+    sharded_sweep = _time_calls(sharded.sweep, sweeps)
+    sharded_elbo = _time_calls(sharded.elbo, sweeps)
+    record = {
         "n_answers": int(matrix.n_answers),
         "n_items": int(matrix.n_items),
         "n_workers": int(matrix.n_workers),
@@ -109,12 +128,25 @@ def bench_batch_sweep(
         "n_patterns": int(fused.kernel.n_patterns),
         "dtype": dtype,
         "fused_sweep_s": fused_sweep,
-        "reference_sweep_s": reference_sweep,
-        "sweep_speedup": reference_sweep / fused_sweep,
         "fused_elbo_s": fused_elbo,
-        "reference_elbo_s": reference_elbo,
-        "elbo_speedup": reference_elbo / fused_elbo,
+        "sharded_n_shards": SHARDED_K,
+        "sharded_sweep_s": sharded_sweep,
+        "sharded_elbo_s": sharded_elbo,
+        "sharded_sweep_ratio": sharded_sweep / fused_sweep,
     }
+    if include_reference:
+        reference = ReferenceVariationalInference(config, matrix)
+        reference_sweep = _time_calls(reference.sweep, sweeps)
+        reference_elbo = _time_calls(reference.elbo, sweeps)
+        record.update(
+            {
+                "reference_sweep_s": reference_sweep,
+                "sweep_speedup": reference_sweep / fused_sweep,
+                "reference_elbo_s": reference_elbo,
+                "elbo_speedup": reference_elbo / fused_elbo,
+            }
+        )
+    return record
 
 
 def bench_svi_batch(
@@ -124,6 +156,7 @@ def bench_svi_batch(
     timed_batches: int = 3,
     dtype: str = "float64",
     seed: int = 0,
+    include_reference: bool = True,
 ) -> Dict[str, object]:
     """Fused vs seed cost of one SVI batch step.
 
@@ -137,11 +170,19 @@ def bench_svi_batch(
     config = CPAConfig(seed=seed, dtype=dtype)
     sizes = (matrix.n_items, matrix.n_workers, matrix.n_labels)
 
-    timings: Dict[str, float] = {}
-    for key, engine in (
+    engines = [
         ("fused", StochasticInference(config, *sizes)),
-        ("reference", ReferenceStochasticInference(config, *sizes)),
-    ):
+        (
+            "sharded",
+            StochasticInference(
+                config.with_overrides(backend="sharded", n_shards=SHARDED_K), *sizes
+            ),
+        ),
+    ]
+    if include_reference:
+        engines.append(("reference", ReferenceStochasticInference(config, *sizes)))
+    timings: Dict[str, float] = {}
+    for key, engine in engines:
         engine.process_batch(batches[0])
         best = float("inf")
         for batch in batches[1:]:
@@ -149,14 +190,44 @@ def bench_svi_batch(
             engine.process_batch(batch)
             best = min(best, time.perf_counter() - start)
         timings[key] = best
-    return {
+    record = {
         "n_answers": int(matrix.n_answers),
         "answers_per_batch": int(answers_per_batch),
         "dtype": dtype,
         "fused_batch_s": timings["fused"],
-        "reference_batch_s": timings["reference"],
-        "batch_speedup": timings["reference"] / timings["fused"],
+        "sharded_batch_s": timings["sharded"],
+        "sharded_batch_ratio": timings["sharded"] / timings["fused"],
     }
+    if include_reference:
+        record["reference_batch_s"] = timings["reference"]
+        record["batch_speedup"] = timings["reference"] / timings["fused"]
+    return record
+
+
+def merge_best(old: Dict[str, object], new: Dict[str, object]) -> Dict[str, object]:
+    """Best-of merge of two records of the same case (regression re-runs).
+
+    Every wall-clock key keeps its minimum across the two runs — a
+    regression must reproduce in *every* measurement to survive — and the
+    derived speedup/ratio keys are recomputed from the merged timings.
+    Keys present only in ``old`` (e.g. reference timings skipped by a
+    tracked-only re-measurement) are carried over unchanged.
+    """
+    merged = {**old, **new}
+    for key, value in new.items():
+        if key.endswith("_s") and isinstance(old.get(key), (int, float)):
+            merged[key] = min(float(old[key]), float(value))
+    derived = {
+        "sweep_speedup": ("reference_sweep_s", "fused_sweep_s"),
+        "elbo_speedup": ("reference_elbo_s", "fused_elbo_s"),
+        "sharded_sweep_ratio": ("sharded_sweep_s", "fused_sweep_s"),
+        "svi_batch_speedup": ("svi_reference_batch_s", "svi_fused_batch_s"),
+        "svi_sharded_batch_ratio": ("svi_sharded_batch_s", "svi_fused_batch_s"),
+    }
+    for key, (numerator, denominator) in derived.items():
+        if numerator in merged and denominator in merged:
+            merged[key] = float(merged[numerator]) / float(merged[denominator])
+    return merged
 
 
 def run_suite(
@@ -166,28 +237,43 @@ def run_suite(
     dtype: str = "float64",
     seed: int = 0,
     verbose: bool = True,
+    include_reference: bool = True,
 ) -> List[Dict[str, object]]:
     """Benchmark every answer volume; returns one record per size."""
     records: List[Dict[str, object]] = []
     for n_answers in sizes:
-        record = bench_batch_sweep(n_answers, sweeps=sweeps, dtype=dtype, seed=seed)
+        record = bench_batch_sweep(
+            n_answers,
+            sweeps=sweeps,
+            dtype=dtype,
+            seed=seed,
+            include_reference=include_reference,
+        )
         record.update(
             {
                 f"svi_{key}": value
                 for key, value in bench_svi_batch(
-                    n_answers, dtype=dtype, seed=seed
+                    n_answers, dtype=dtype, seed=seed,
+                    include_reference=include_reference,
                 ).items()
                 if key.endswith("_s") or key.endswith("speedup")
-                or key == "answers_per_batch"
+                or key.endswith("_ratio") or key == "answers_per_batch"
             }
         )
         records.append(record)
-        if verbose:
+        if verbose and include_reference:
             print(
                 f"N={record['n_answers']:>7d}  P={record['n_patterns']:>4d}  "
                 f"sweep {record['reference_sweep_s']:.3f}s -> "
                 f"{record['fused_sweep_s']:.3f}s ({record['sweep_speedup']:.1f}x)  "
                 f"elbo {record['elbo_speedup']:.1f}x  "
-                f"svi batch {record['svi_batch_speedup']:.1f}x"
+                f"svi batch {record['svi_batch_speedup']:.1f}x  "
+                f"sharded sweep {record['sharded_sweep_ratio']:.2f}x fused"
+            )
+        elif verbose:
+            print(
+                f"N={record['n_answers']:>7d}  P={record['n_patterns']:>4d}  "
+                f"fused sweep {record['fused_sweep_s']:.3f}s  "
+                f"sharded sweep {record['sharded_sweep_ratio']:.2f}x fused"
             )
     return records

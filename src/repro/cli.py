@@ -5,12 +5,14 @@ Commands
 ``repro list``
     Show all registered experiments with their paper artefacts.
 ``repro run <id> [--seeds 0,1,2] [--scale 0.5] [--out FILE]
-            [--executor thread] [--degree 4]``
+            [--executor thread] [--degree 4]
+            [--kernel-backend sharded] [--shards 4]``
     Run one experiment (or ``all``) and print/save its report.  The
-    executor flags select the parallel backend for experiments that take
-    one (e.g. the Fig-7 runtime sweep) without code edits; kwargs an
-    experiment does not accept are filtered by signature, so generic
-    flags combine freely with ``all``.
+    executor flags select the parallel backend, and the kernel-backend
+    flags the sweep-kernel implementation (fused vs sharded), for
+    experiments that take them (e.g. the Fig-7 runtime sweep) without
+    code edits; kwargs an experiment does not accept are filtered by
+    signature, so generic flags combine freely with ``all``.
 ``repro stats [--scale 1.0] [--seed 0]``
     Shortcut for the Table-3 statistics experiment.
 """
@@ -66,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="parallelism degree for --executor (default: one lane per core)",
     )
+    run_parser.add_argument(
+        "--kernel-backend",
+        choices=("fused", "sharded"),
+        default=None,
+        help="sweep-kernel backend for experiments that accept one (e.g. fig7)",
+    )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for the sharded kernel backend (implies "
+        "--kernel-backend sharded; default: auto)",
+    )
 
     stats_parser = sub.add_parser("stats", help="dataset statistics (Table 3)")
     stats_parser.add_argument("--scale", type=float, default=1.0)
@@ -87,7 +102,13 @@ def _accepted_kwargs(experiment_id: str, kwargs: dict) -> dict:
     return {key: value for key, value in kwargs.items() if key in parameters}
 
 
-def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
+def _experiment_kwargs(args: argparse.Namespace) -> dict:
+    """Generic experiment kwargs from the parsed CLI flags.
+
+    ``--shards`` alone implies the sharded kernel backend — a shard count
+    silently running on the fused backend (which ignores it) would be a
+    misleading no-op.
+    """
     kwargs: dict = {}
     if args.seeds is not None:
         kwargs["seeds"] = tuple(args.seeds)
@@ -99,6 +120,16 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
         kwargs["backend"] = args.executor
     if getattr(args, "degree", None) is not None:
         kwargs["parallel_degrees"] = (args.degree,)
+    if getattr(args, "kernel_backend", None) is not None:
+        kwargs["kernel_backend"] = args.kernel_backend
+    if getattr(args, "shards", None) is not None:
+        kwargs["n_shards"] = args.shards
+        kwargs.setdefault("kernel_backend", "sharded")
+    return kwargs
+
+
+def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
+    kwargs = _experiment_kwargs(args)
     report = run_experiment(experiment_id, **_accepted_kwargs(experiment_id, kwargs))
     return report.rendered()
 

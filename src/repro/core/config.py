@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import ConfigurationError, ValidationError
 
 
 @dataclass(frozen=True)
@@ -84,6 +84,16 @@ class CPAConfig:
         of the ``(·, T, M)`` tensors at a small accuracy cost; the
         default keeps the paper-exact double-precision trajectories
         (DESIGN.md §6).
+    backend:
+        Sweep-kernel backend: ``"fused"`` (default; the serial fused
+        kernel of DESIGN.md §6) or ``"sharded"`` (item-partitioned
+        shards whose contractions run as independent executor tasks and
+        whose sufficient statistics are merged in fixed shard order;
+        DESIGN.md §6 "Sharded execution").  Both engines honour the
+        selection.
+    n_shards:
+        Shard count ``K`` for the sharded backend; ``0`` (auto) uses one
+        shard per executor lane.  Ignored by the fused backend.
     seed:
         Seed for the random initialisation of the variational state.
     """
@@ -108,6 +118,8 @@ class CPAConfig:
     max_predicted_labels: int = 0
     exhaustive_label_limit: int = 16
     dtype: str = "float64"
+    backend: str = "fused"
+    n_shards: int = 0
     seed: int = 0
     max_truncation: int = 40
     init_noise: float = 0.5
@@ -142,10 +154,25 @@ class CPAConfig:
             raise ValidationError(
                 f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
             )
+        if self.backend not in ("fused", "sharded"):
+            raise ConfigurationError(
+                f"backend must be 'fused' or 'sharded', got {self.backend!r}"
+            )
+        if self.n_shards < 0:
+            raise ValidationError("n_shards must be non-negative (0 = auto)")
 
     def resolve_dtype(self) -> np.dtype:
         """The numpy dtype of the state arrays and likelihood kernels."""
         return np.dtype(self.dtype)
+
+    def resolve_shards(self, degree: int = 1) -> int:
+        """Concrete shard count for the sharded backend.
+
+        Auto mode (``n_shards == 0``) matches the executor's parallel
+        degree so each lane owns one shard; an explicit count is honoured
+        regardless of the executor.
+        """
+        return self.n_shards if self.n_shards > 0 else max(1, int(degree))
 
     def resolve_truncations(self, n_items: int, n_workers: int) -> tuple[int, int]:
         """Concrete ``(T, M)`` for a dataset of the given size.

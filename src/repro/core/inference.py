@@ -38,7 +38,8 @@ from repro.core.expectations import (
     expected_log_psi,
     expected_log_tau,
 )
-from repro.core.kernels import SweepKernel, segment_sum
+from repro.core.kernels import segment_sum
+from repro.core.sharding import build_sweep_kernel
 from repro.core.state import CPAState, initialize_state
 from repro.data.answers import AnswerMatrix
 from repro.data.dataset import GroundTruth
@@ -137,13 +138,16 @@ class VariationalInference:
         self.n_items = answers.n_items
         self.n_workers = answers.n_workers
         self.n_labels = answers.n_labels
-        self.kernel = SweepKernel(
+        # Backend seam (DESIGN.md §6): `config.backend` selects the fused
+        # serial kernel or the sharded one; both expose the same sweep API.
+        self.kernel = build_sweep_kernel(
+            config,
             self.items,
             self.workers,
             self.indicators,
             n_items=self.n_items,
             n_workers=self.n_workers,
-            dtype=config.resolve_dtype(),
+            executor=self.executor,
         )
 
         if truth is not None and len(truth) > 0:

@@ -49,6 +49,17 @@ PATTERN_LIMIT = 200_000
 _SERIAL = SerialExecutor()
 
 
+def dedup_pays_off(n_patterns: int, n_answers: int) -> bool:
+    """The auto rule deciding the pattern-deduplicated path.
+
+    Dedup wins unless the matrix has (pathologically) almost as many
+    distinct patterns as answers; shared by :class:`SweepKernel`'s
+    ``patterned=None`` mode and the plan-level decision of
+    :class:`repro.core.sharding.ShardPlan`.
+    """
+    return n_patterns <= min(PATTERN_LIMIT, max(64, (3 * n_answers) // 4))
+
+
 def unique_patterns(indicators: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Deduplicate indicator rows into ``(patterns, index)``.
 
@@ -58,6 +69,24 @@ def unique_patterns(indicators: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """
     patterns, index = np.unique(indicators, axis=0, return_inverse=True)
     return patterns, np.asarray(index, dtype=np.int64).reshape(-1)
+
+
+def balanced_bounds(offsets: np.ndarray, total: int, parts: int) -> np.ndarray:
+    """Segment-aligned cut points carrying roughly equal weight per part.
+
+    ``offsets`` is the ``(S+1,)`` cumulative weight at each segment
+    boundary (``offsets[-1] == total``); the returned strictly increasing
+    bounds (first ``0``, last ``S``) split the segments into at most
+    ``parts`` runs of ~``total / parts`` weight each.  Shared by the
+    pattern-range partitioning of :class:`SweepKernel` and the item-range
+    partitioning of :class:`repro.core.sharding.ShardPlan`.
+    """
+    n_segments = int(offsets.size - 1)
+    if parts <= 1 or n_segments <= 1:
+        return np.array([0, n_segments], dtype=np.int64)
+    targets = np.linspace(0, total, parts + 1)[1:-1]
+    cuts = np.searchsorted(offsets, targets, side="left")
+    return np.unique(np.concatenate([[0], cuts, [n_segments]])).astype(np.int64)
 
 
 def segment_sum(values: np.ndarray, index: np.ndarray, n_segments: int) -> np.ndarray:
@@ -245,6 +274,13 @@ class SweepKernel:
         Force the pattern-deduplicated path on/off; ``None`` (default)
         decides automatically — dedup is used unless the matrix has
         (pathologically) almost as many distinct patterns as answers.
+    patterns, pattern_index:
+        Optional precomputed dedup (as returned by
+        :func:`unique_patterns`): ``patterns`` the ``(P, C)`` distinct-row
+        table in lexicographic order, ``pattern_index`` the ``(N,)`` map
+        from answers to rows.  A sharded caller that deduplicated the full
+        matrix once can hand each shard its derived sub-table instead of
+        paying the ``O(N·C log N)`` row sort again per shard.
     """
 
     def __init__(
@@ -256,6 +292,8 @@ class SweepKernel:
         n_workers: int,
         dtype: np.dtype = np.float64,
         patterned: Optional[bool] = None,
+        patterns: Optional[np.ndarray] = None,
+        pattern_index: Optional[np.ndarray] = None,
     ) -> None:
         self.dtype = np.dtype(dtype)
         self.items = np.asarray(items, dtype=np.int64)
@@ -274,12 +312,16 @@ class SweepKernel:
             self.pattern_index = np.zeros(0, dtype=np.int64)
             self.n_patterns = 0
         else:
-            self.patterns, self.pattern_index = unique_patterns(self.indicators)
+            if patterns is not None and pattern_index is not None:
+                self.patterns = np.ascontiguousarray(patterns, dtype=self.dtype)
+                self.pattern_index = np.asarray(
+                    pattern_index, dtype=np.int64
+                ).reshape(-1)
+            else:
+                self.patterns, self.pattern_index = unique_patterns(self.indicators)
             self.n_patterns = int(self.patterns.shape[0])
             if patterned is None:
-                patterned = self.n_patterns <= min(
-                    PATTERN_LIMIT, max(64, (3 * self.n_answers) // 4)
-                )
+                patterned = dedup_pays_off(self.n_patterns, self.n_answers)
         self.patterned = bool(patterned)
 
         if self.patterned:
@@ -330,13 +372,9 @@ class SweepKernel:
         lanes = max(1, getattr(executor, "degree", 1))
         if lanes <= 1 or self.n_patterns <= 1:
             return [(0, self.n_patterns)]
-        targets = np.linspace(0, self.n_answers, lanes + 1)[1:-1]
-        cuts = np.searchsorted(self.pattern_offsets, targets, side="left")
-        bounds = np.unique(np.concatenate([[0], cuts, [self.n_patterns]]))
+        bounds = balanced_bounds(self.pattern_offsets, self.n_answers, lanes)
         return [
-            (int(bounds[i]), int(bounds[i + 1]))
-            for i in range(bounds.size - 1)
-            if bounds[i] < bounds[i + 1]
+            (int(bounds[i]), int(bounds[i + 1])) for i in range(bounds.size - 1)
         ]
 
     def _pattern_weighted(

@@ -41,17 +41,31 @@ def parallel_inference(
     *,
     degree: int,
     backend: str = "process",
+    kernel_backend: Optional[str] = None,
+    n_shards: Optional[int] = None,
     truth: Optional[GroundTruth] = None,
     seed: Seed = None,
 ) -> StochasticInference:
     """An SVI engine whose MAP phase runs on ``degree`` parallel lanes.
 
     ``backend`` is ``'process'`` (true multicore, Alg. 3's setting) or
-    ``'thread'``.  The caller owns the engine's executor lifetime; use
-    :func:`close_engine` or ``engine.executor.close()`` when done.
+    ``'thread'`` — an unknown kind raises
+    :class:`~repro.errors.ConfigurationError`.  ``kernel_backend`` /
+    ``n_shards`` override ``config.backend`` / ``config.n_shards`` so the
+    per-batch contractions themselves run sharded (DESIGN.md §6 "Sharded
+    execution"); left at ``None`` the config's selection stands.  The
+    caller owns the engine's executor lifetime; use :func:`close_engine`
+    or ``engine.executor.close()`` when done.
     """
     if degree <= 0:
         raise ValidationError("degree must be positive")
+    overrides = {}
+    if kernel_backend is not None:
+        overrides["backend"] = kernel_backend
+    if n_shards is not None:
+        overrides["n_shards"] = n_shards
+    if overrides:
+        config = config.with_overrides(**overrides)
     executor: Executor = make_executor(backend, degree)
     return StochasticInference(
         config,

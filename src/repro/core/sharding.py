@@ -1,0 +1,483 @@
+"""Sharded sweep backend behind the :class:`SweepKernel` seam (DESIGN.md §6).
+
+The fused kernel layer factors every data-dependent update of both
+inference engines through per-answer sufficient statistics that are
+*additive* over answers.  This module exploits that shape across shards:
+
+* :class:`ShardPlan` partitions the flat answer arrays **by item** into
+  ``K`` self-contained shards (contiguous item ranges, boundaries chosen
+  to balance answer counts, built on :class:`SegmentLayout`'s item-sorted
+  order).  Every answer lands in exactly one shard and every item's
+  answers land in the *same* shard, so the ϕ-update data term never
+  crosses a shard boundary.
+* :class:`ShardedSweepKernel` presents the same interface as
+  :class:`~repro.core.kernels.SweepKernel` but runs each shard's
+  pattern-deduplicated contractions as an independent
+  :meth:`~repro.utils.parallel.Executor.map_tasks` unit and merges the
+  partial sufficient statistics centrally.
+
+Combine semantics (the parity contract of ``tests/test_sharded.py``):
+
+* **item scores** — shards own disjoint item sets, so the merge is a
+  disjoint scatter; each item's segment is reduced inside one shard with
+  the same per-segment summation order (pattern-major, stable) as the
+  fused serial path.
+* **worker scores / cell statistics / ELBO** — workers and patterns span
+  shards; each shard contributes one ``reduceat``-style contiguous
+  partial per segment, and partials are merged ``+=`` in **fixed shard
+  order** (``k = 0..K-1``, independent of the executor's scheduling,
+  since ``map_tasks`` preserves task order).  The merge is therefore
+  deterministic for every executor kind; relative to the fused serial
+  path it only reassociates the per-segment sums, keeping trajectories
+  within ``1e-10`` on float64.
+
+Each shard task ships the shard's :class:`SweepKernel` (plain numpy
+arrays — picklable for process pools) plus only that shard's ϕ/κ rows.
+The global pattern table is deduplicated once; shards inherit derived
+sub-tables instead of re-sorting their indicator rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kernels import (
+    SegmentLayout,
+    SweepKernel,
+    balanced_bounds,
+    dedup_pays_off,
+    unique_patterns,
+)
+from repro.errors import ValidationError
+from repro.utils.parallel import Executor, SerialExecutor
+
+_SERIAL = SerialExecutor()
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One self-contained slice of the answer matrix.
+
+    ``kernel`` operates on shard-local index spaces; ``item_ids`` /
+    ``worker_ids`` map local rows back to the global spaces (both sorted
+    ascending, so local ids preserve global order).
+    """
+
+    index: int
+    item_ids: np.ndarray  # (I_s,) global ids of the shard's answered items
+    worker_ids: np.ndarray  # (U_s,) global ids of the shard's active workers
+    kernel: SweepKernel
+
+    @property
+    def n_answers(self) -> int:
+        return self.kernel.n_answers
+
+
+class ShardPlan:
+    """Item-partition of flat answer arrays into balanced shards.
+
+    Boundaries are drawn at item boundaries of the item-sorted layout,
+    targeting equal answer counts per shard (the same balancing rule as
+    ``SweepKernel._pattern_ranges``).  Ranges that contain no answers are
+    dropped, so the realised ``n_shards`` can be below the request —
+    ``K = 1`` always yields exactly one shard covering everything.
+    """
+
+    def __init__(
+        self,
+        items: np.ndarray,
+        workers: np.ndarray,
+        indicators: np.ndarray,
+        n_items: int,
+        n_workers: int,
+        n_shards: int,
+        dtype: np.dtype = np.float64,
+        patterned: Optional[bool] = None,
+        patterns: Optional[np.ndarray] = None,
+        pattern_index: Optional[np.ndarray] = None,
+    ) -> None:
+        """``patterns`` / ``pattern_index`` optionally reuse a dedup the
+        caller already computed over these exact rows (the SVI batch path
+        dedups once in ``_prepare_batch``) instead of re-sorting here."""
+        if n_shards <= 0:
+            raise ValidationError("n_shards must be positive")
+        self.dtype = np.dtype(dtype)
+        items = np.asarray(items, dtype=np.int64)
+        workers = np.asarray(workers, dtype=np.int64)
+        indicators = np.ascontiguousarray(indicators, dtype=self.dtype)
+        self.n_items = int(n_items)
+        self.n_workers = int(n_workers)
+        self.n_answers = int(items.size)
+        self.n_labels = int(indicators.shape[1]) if indicators.ndim == 2 else 0
+
+        # `patterned=False` is the explicit request to skip dedup entirely
+        # (pattern-heavy data) — honour it here too instead of paying the
+        # O(N·C log N) row sort only to discard the tables per shard.
+        dedup = patterned is not False and self.n_answers > 0
+        self.n_patterns = 0
+        if not dedup:
+            pattern_index = None
+        elif patterns is not None and pattern_index is not None:
+            patterns = np.ascontiguousarray(patterns, dtype=self.dtype)
+            pattern_index = np.asarray(pattern_index, dtype=np.int64).reshape(-1)
+            self.n_patterns = int(patterns.shape[0])
+        else:
+            patterns, pattern_index = unique_patterns(indicators)
+            self.n_patterns = int(patterns.shape[0])
+        if dedup and patterned is None and not dedup_pays_off(
+            self.n_patterns, self.n_answers
+        ):
+            # Plan-level auto fallback mirroring SweepKernel's rule: on
+            # pattern-heavy matrices every shard would discard its derived
+            # sub-table anyway, so pin the direct path instead of deriving
+            # tables shard by shard.  n_patterns reports 0 like SweepKernel
+            # does on its direct path.
+            patterned = False
+            dedup = False
+            self.n_patterns = 0
+
+        layout = SegmentLayout(items, self.n_items)
+        item_offsets = np.searchsorted(
+            layout.sorted_index, np.arange(self.n_items + 1)
+        ).astype(np.int64)
+        sorted_items = layout.sorted_index
+        sorted_workers = workers[layout.order]
+        sorted_x = indicators[layout.order]
+        sorted_pattern = pattern_index[layout.order] if dedup else None
+
+        bounds = balanced_bounds(item_offsets, self.n_answers, n_shards)
+        self.item_bounds = bounds
+
+        self.shards: List[Shard] = []
+        for s in range(bounds.size - 1):
+            lo = int(item_offsets[bounds[s]])
+            hi = int(item_offsets[bounds[s + 1]])
+            if lo == hi:
+                continue
+            item_ids, local_items = np.unique(
+                sorted_items[lo:hi], return_inverse=True
+            )
+            worker_ids, local_workers = np.unique(
+                sorted_workers[lo:hi], return_inverse=True
+            )
+            dedup_tables = {}
+            if dedup:
+                # Shard pattern table derived from the global dedup: local
+                # ids are increasing in global pattern id, so lexicographic
+                # order (and with it the fused path's per-segment summation
+                # order) is preserved.
+                pattern_ids, local_pattern = np.unique(
+                    sorted_pattern[lo:hi], return_inverse=True
+                )
+                dedup_tables = dict(
+                    patterns=patterns[pattern_ids], pattern_index=local_pattern
+                )
+            kernel = SweepKernel(
+                local_items,
+                local_workers,
+                sorted_x[lo:hi],
+                n_items=int(item_ids.size),
+                n_workers=int(worker_ids.size),
+                dtype=self.dtype,
+                patterned=patterned,
+                **dedup_tables,
+            )
+            self.shards.append(
+                Shard(
+                    index=len(self.shards),
+                    item_ids=item_ids,
+                    worker_ids=worker_ids,
+                    kernel=kernel,
+                )
+            )
+        self.n_shards = len(self.shards)
+
+
+# --------------------------------------------------------------------- merges
+
+
+def merge_cell_statistics(
+    pieces: Sequence[Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Combine per-shard ``(counts, mass)`` fragments by summation.
+
+    The combine is exact segment addition — associative and commutative up
+    to float roundoff — so any bracketing/order of fragments agrees within
+    accumulation noise; :class:`ShardedSweepKernel` always folds in fixed
+    shard order to stay deterministic across executors.
+    """
+    if not pieces:
+        raise ValidationError("merge_cell_statistics needs at least one fragment")
+    counts = pieces[0][0].copy()
+    mass = pieces[0][1].copy()
+    for piece_counts, piece_mass in pieces[1:]:
+        counts += piece_counts
+        mass += piece_mass
+    return counts, mass
+
+
+def merge_scores(
+    out: np.ndarray,
+    pieces: Sequence[Tuple[np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """``out[ids] += scores`` for each ``(ids, scores)`` fragment, in order."""
+    for ids, scores in pieces:
+        out[ids] += scores
+    return out
+
+
+# ---------------------------------------------------------------------- tasks
+#
+# Module-level task functions (picklable for process pools).  Each task
+# carries the shard's SweepKernel plus only that shard's parameter rows;
+# process lanes receive a pickled copy, so every task re-establishes the
+# sweep tensor itself (identity-cached: with serial/thread executors the
+# shared kernel object evaluates it once per sweep).
+
+
+def _ensure_sweep(kernel: SweepKernel, e_log_psi: np.ndarray) -> None:
+    if kernel._e_log_psi is not e_log_psi:
+        kernel.begin_sweep(e_log_psi)
+
+
+def _shard_worker_scores_task(task) -> np.ndarray:
+    """κ-update data term of one shard, over the shard's worker space."""
+    kernel, e_log_psi, phi_rows = task
+    _ensure_sweep(kernel, e_log_psi)
+    out = np.zeros(
+        (kernel.n_workers, e_log_psi.shape[1]),
+        dtype=np.result_type(phi_rows, e_log_psi),
+    )
+    return kernel.add_worker_scores(out, phi_rows)
+
+
+def _shard_item_scores_task(task) -> np.ndarray:
+    """ϕ-update data term of one shard, over the shard's item space."""
+    kernel, e_log_psi, kappa_rows = task
+    _ensure_sweep(kernel, e_log_psi)
+    out = np.zeros(
+        (kernel.n_items, e_log_psi.shape[0]),
+        dtype=np.result_type(kappa_rows, e_log_psi),
+    )
+    return kernel.add_item_scores(out, kappa_rows)
+
+
+def _shard_cell_statistics_task(task) -> Tuple[np.ndarray, np.ndarray]:
+    """Eq. 6 sufficient statistics of one shard."""
+    kernel, phi_rows, kappa_rows = task
+    return kernel.cell_statistics(phi_rows, kappa_rows)
+
+
+def _shard_data_elbo_task(task) -> float:
+    """ELBO data term of one shard."""
+    kernel, phi_rows, kappa_rows, e_log_psi = task
+    return kernel.data_elbo(phi_rows, kappa_rows, e_log_psi)
+
+
+# --------------------------------------------------------------------- kernel
+
+
+class ShardedSweepKernel:
+    """Drop-in :class:`SweepKernel` that fans shards out over an executor.
+
+    Presents the same sweep interface (``begin_sweep`` /
+    ``add_worker_scores`` / ``add_item_scores`` / ``cell_statistics`` /
+    ``data_elbo``) so :class:`~repro.core.inference.VariationalInference`
+    and the per-batch SVI path can select it without code changes; merge
+    semantics are documented in the module docstring.
+    """
+
+    def __init__(
+        self,
+        items: np.ndarray,
+        workers: np.ndarray,
+        indicators: np.ndarray,
+        n_items: int,
+        n_workers: int,
+        dtype: np.dtype = np.float64,
+        n_shards: int = 1,
+        patterned: Optional[bool] = None,
+        patterns: Optional[np.ndarray] = None,
+        pattern_index: Optional[np.ndarray] = None,
+    ) -> None:
+        self.dtype = np.dtype(dtype)
+        self.plan = ShardPlan(
+            items,
+            workers,
+            indicators,
+            n_items=n_items,
+            n_workers=n_workers,
+            n_shards=n_shards,
+            dtype=self.dtype,
+            patterned=patterned,
+            patterns=patterns,
+            pattern_index=pattern_index,
+        )
+        self.n_items = self.plan.n_items
+        self.n_workers = self.plan.n_workers
+        self.n_answers = self.plan.n_answers
+        self.n_labels = self.plan.n_labels
+        self.n_patterns = self.plan.n_patterns
+        self.n_shards = self.plan.n_shards
+        self._e_log_psi: Optional[np.ndarray] = None
+        # Identity-keyed row-slice caches: reusing the same sliced arrays
+        # across cell_statistics -> data_elbo lets each shard's joint-mass
+        # cache hit (serial/thread executors share the kernel objects).
+        self._phi_slices: Optional[Tuple[np.ndarray, List[np.ndarray]]] = None
+        self._kappa_slices: Optional[Tuple[np.ndarray, List[np.ndarray]]] = None
+
+    # ---------------------------------------------------------------- sweep
+
+    def begin_sweep(self, e_log_psi: np.ndarray) -> None:
+        """Pin the sweep's likelihood tensor; shards evaluate lazily.
+
+        Each shard task establishes its pattern-space likelihood on first
+        use (identity-cached per sweep for in-process executors; process
+        lanes re-evaluate on their pickled copies).
+        """
+        self._e_log_psi = np.ascontiguousarray(e_log_psi, dtype=self.dtype)
+
+    def _item_rows(self, phi: np.ndarray) -> List[np.ndarray]:
+        cache = self._phi_slices
+        if cache is None or cache[0] is not phi:
+            self._phi_slices = (
+                phi,
+                [phi[shard.item_ids] for shard in self.plan.shards],
+            )
+        return self._phi_slices[1]
+
+    def _worker_rows(self, kappa: np.ndarray) -> List[np.ndarray]:
+        cache = self._kappa_slices
+        if cache is None or cache[0] is not kappa:
+            self._kappa_slices = (
+                kappa,
+                [kappa[shard.worker_ids] for shard in self.plan.shards],
+            )
+        return self._kappa_slices[1]
+
+    def add_worker_scores(
+        self, out: np.ndarray, phi: np.ndarray, executor: Optional[Executor] = None
+    ) -> np.ndarray:
+        """``out[u] += Σ_{n: u_n=u} Σ_t ϕ[i_n, t] L[n, t, ·]``, shard-merged."""
+        executor = executor or _SERIAL
+        if self._e_log_psi is None:
+            raise RuntimeError("begin_sweep must be called before score accumulation")
+        tasks = [
+            (shard.kernel, self._e_log_psi, rows)
+            for shard, rows in zip(self.plan.shards, self._item_rows(phi))
+        ]
+        pieces = executor.map_tasks(_shard_worker_scores_task, tasks)
+        return merge_scores(
+            out,
+            [
+                (shard.worker_ids, scores)
+                for shard, scores in zip(self.plan.shards, pieces)
+            ],
+        )
+
+    def add_item_scores(
+        self, out: np.ndarray, kappa: np.ndarray, executor: Optional[Executor] = None
+    ) -> np.ndarray:
+        """``out[i] += Σ_{n: i_n=i} Σ_m κ[u_n, m] L[n, ·, m]``; disjoint merge."""
+        executor = executor or _SERIAL
+        if self._e_log_psi is None:
+            raise RuntimeError("begin_sweep must be called before score accumulation")
+        tasks = [
+            (shard.kernel, self._e_log_psi, rows)
+            for shard, rows in zip(self.plan.shards, self._worker_rows(kappa))
+        ]
+        pieces = executor.map_tasks(_shard_item_scores_task, tasks)
+        return merge_scores(
+            out,
+            [
+                (shard.item_ids, scores)
+                for shard, scores in zip(self.plan.shards, pieces)
+            ],
+        )
+
+    # ------------------------------------------------------------ statistics
+
+    def cell_statistics(
+        self, phi: np.ndarray, kappa: np.ndarray, executor: Optional[Executor] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Eq. 6 sufficient statistics merged over shards (fixed order)."""
+        executor = executor or _SERIAL
+        t, m = phi.shape[1], kappa.shape[1]
+        if not self.plan.shards:
+            dtype = np.result_type(phi, kappa)
+            return (
+                np.zeros((t, m, self.n_labels), dtype=dtype),
+                np.zeros((t, m), dtype=dtype),
+            )
+        tasks = [
+            (shard.kernel, phi_rows, kappa_rows)
+            for shard, phi_rows, kappa_rows in zip(
+                self.plan.shards, self._item_rows(phi), self._worker_rows(kappa)
+            )
+        ]
+        return merge_cell_statistics(
+            executor.map_tasks(_shard_cell_statistics_task, tasks)
+        )
+
+    def data_elbo(
+        self,
+        phi: np.ndarray,
+        kappa: np.ndarray,
+        e_log_psi: np.ndarray,
+        executor: Optional[Executor] = None,
+    ) -> float:
+        """``E[ln p(x | z, l, ψ)]`` summed over shards in fixed order."""
+        executor = executor or _SERIAL
+        e_log_psi = np.ascontiguousarray(e_log_psi, dtype=self.dtype)
+        tasks = [
+            (shard.kernel, phi_rows, kappa_rows, e_log_psi)
+            for shard, phi_rows, kappa_rows in zip(
+                self.plan.shards, self._item_rows(phi), self._worker_rows(kappa)
+            )
+        ]
+        return float(sum(executor.map_tasks(_shard_data_elbo_task, tasks)))
+
+
+# -------------------------------------------------------------------- factory
+
+
+def build_sweep_kernel(
+    config,
+    items: np.ndarray,
+    workers: np.ndarray,
+    indicators: np.ndarray,
+    *,
+    n_items: int,
+    n_workers: int,
+    executor: Optional[Executor] = None,
+):
+    """Kernel-backend selection seam for both engines.
+
+    ``config.backend == "sharded"`` returns a :class:`ShardedSweepKernel`
+    with ``config.resolve_shards(executor.degree)`` shards; anything else
+    returns the fused serial :class:`SweepKernel`.  ``CPAConfig`` already
+    validated the backend name.
+    """
+    dtype = config.resolve_dtype()
+    if config.backend == "sharded":
+        degree = getattr(executor, "degree", 1) if executor is not None else 1
+        return ShardedSweepKernel(
+            items,
+            workers,
+            indicators,
+            n_items=n_items,
+            n_workers=n_workers,
+            dtype=dtype,
+            n_shards=config.resolve_shards(degree),
+        )
+    return SweepKernel(
+        items,
+        workers,
+        indicators,
+        n_items=n_items,
+        n_workers=n_workers,
+        dtype=dtype,
+    )

@@ -103,6 +103,43 @@ class CPAState:
             batches_seen=self.batches_seen,
         )
 
+    def permuted(
+        self,
+        item_permutation: Optional[np.ndarray] = None,
+        worker_permutation: Optional[np.ndarray] = None,
+    ) -> "CPAState":
+        """Equivariant copy under item/worker relabelling.
+
+        ``item_permutation[i]`` is the new id of item ``i`` (likewise for
+        workers): row ``i`` of ``ϕ``/``µ`` moves to row
+        ``item_permutation[i]``, row ``u`` of ``κ`` to
+        ``worker_permutation[u]``.  Global parameters (``ρ``, ``υ``,
+        ``λ``, ``ζ``, ``cell_mass``) are not indexed by items or workers
+        and are copied unchanged.  Used by the invariance tests: running
+        inference on a relabelled matrix from the correspondingly permuted
+        state must track the original trajectory row-for-row.
+        """
+
+        def _check(name: str, perm: np.ndarray, size: int) -> np.ndarray:
+            perm = np.asarray(perm, dtype=np.int64)
+            if perm.shape != (size,) or not np.array_equal(
+                np.sort(perm), np.arange(size)
+            ):
+                raise ValidationError(f"{name} must be a permutation of range({size})")
+            return perm
+
+        out = self.copy()
+        if item_permutation is not None:
+            perm = _check("item_permutation", item_permutation, self.n_items)
+            out.phi[perm] = self.phi
+            if self.mu is not None:
+                assert out.mu is not None
+                out.mu[perm] = self.mu
+        if worker_permutation is not None:
+            perm = _check("worker_permutation", worker_permutation, self.n_workers)
+            out.kappa[perm] = self.kappa
+        return out
+
     def hard_communities(self) -> np.ndarray:
         """MAP community of each worker (argmax of ``κ``)."""
         return np.argmax(self.kappa, axis=1)

@@ -43,6 +43,7 @@ from repro.core.natural_gradients import (
     interpolate,
     learning_rate,
 )
+from repro.core.sharding import ShardedSweepKernel
 from repro.core.state import CPAState, initialize_state
 from repro.data.dataset import GroundTruth
 from repro.data.streams import AnswerBatch
@@ -247,6 +248,7 @@ class StochasticInference:
             Tuple[_BatchData, np.ndarray, np.ndarray]
         ] = None
         self._chunk_plan_cache: Optional[Tuple[_BatchData, int, List["_ChunkPlan"]]] = None
+        self._batch_kernel_cache: Optional[Tuple[_BatchData, ShardedSweepKernel]] = None
         self._truth = truth
         self.total_answers_hint = total_answers_hint
         if truth is not None and len(truth) > 0:
@@ -524,6 +526,58 @@ class StochasticInference:
         self._chunk_plan_cache = (data, degree, plans)
         return plans
 
+    def _batch_kernel(self, data: _BatchData) -> ShardedSweepKernel:
+        """Per-batch sharded kernel over the batch-local index spaces.
+
+        Cached on batch identity so the ``svi_iterations`` local passes
+        (and the post-damping statistics recomputation) share one shard
+        plan per batch.
+        """
+        cache = self._batch_kernel_cache
+        if cache is not None and cache[0] is data:
+            return cache[1]
+        kernel = ShardedSweepKernel(
+            data.item_local,
+            data.worker_local,
+            data.indicators,
+            n_items=int(data.batch_items.size),
+            n_workers=int(data.batch_workers.size),
+            dtype=self.config.resolve_dtype(),
+            n_shards=self.config.resolve_shards(self.executor.degree),
+            # _prepare_batch already deduplicated these exact rows; reuse
+            # its tables instead of re-sorting per batch.
+            patterns=data.patterns,
+            pattern_index=data.pattern_index,
+        )
+        self._batch_kernel_cache = (data, kernel)
+        return kernel
+
+    def _sharded_map_reduce(
+        self,
+        data: _BatchData,
+        phi_batch: np.ndarray,
+        e_log_pi: np.ndarray,
+        e_log_psi: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """MAP/REDUCE of one batch routed through the sharded kernel seam.
+
+        Same math as the fused worker-chunk path — κ update, item
+        evidence under the fresh κ, Eq. 6 statistics — but each shard's
+        contractions run as one executor task and the partials merge in
+        fixed shard order (see :mod:`repro.core.sharding`).
+        """
+        kernel = self._batch_kernel(data)
+        kernel.begin_sweep(e_log_psi)
+        scores = np.tile(e_log_pi, (data.batch_workers.size, 1))
+        kernel.add_worker_scores(scores, phi_batch, self.executor)
+        kappa_batch = log_normalize_rows(scores)
+        evidence = np.zeros(
+            (data.batch_items.size, self.state.n_clusters), dtype=self.state.lam.dtype
+        )
+        kernel.add_item_scores(evidence, kappa_batch, self.executor)
+        counts, mass = kernel.cell_statistics(phi_batch, kappa_batch, self.executor)
+        return kappa_batch, evidence, counts, mass, kappa_batch.sum(axis=0)
+
     def _map_reduce(
         self,
         data: _BatchData,
@@ -537,8 +591,12 @@ class StochasticInference:
         chunk of workers is a contiguous answer range) before submission,
         keeping process-pool payloads proportional to each lane's share.
         The λ counts are reduced in pattern space and finished with a
-        single matmul against the batch's pattern table.
+        single matmul against the batch's pattern table.  With
+        ``CPAConfig.backend == "sharded"`` the batch is instead routed
+        through :meth:`_sharded_map_reduce`.
         """
+        if self.config.backend == "sharded":
+            return self._sharded_map_reduce(data, phi_batch, e_log_pi, e_log_psi)
         pattern_like = self._pattern_likelihood(data, e_log_psi)
         n_patterns = data.patterns.shape[0]
         tasks: List[_MapTask] = [
@@ -577,8 +635,13 @@ class StochasticInference:
 
         Reduced in pattern space: the ``O(N_b·T·M·C)`` contraction becomes
         per-pattern outer-product matmuls plus a ``(T·M, P) @ (P, C)``
-        matmul against the pattern table.
+        matmul against the pattern table (shard-merged under the sharded
+        backend).
         """
+        if self.config.backend == "sharded":
+            return self._batch_kernel(data).cell_statistics(
+                phi_batch, kappa_batch, self.executor
+            )
         n_patterns = data.patterns.shape[0]
         order = data.pattern_order  # precomputed batch-level grouping
         joint_pattern = grouped_outer(

@@ -21,6 +21,15 @@ class ValidationError(ReproError, ValueError):
     """A function argument violates its documented contract."""
 
 
+class ConfigurationError(ValidationError):
+    """A configuration value selects an unknown backend, executor, or mode.
+
+    Subclass of :class:`ValidationError` so existing ``except`` clauses keep
+    working; raised where the invalid value came from configuration (an
+    executor ``kind``, a ``CPAConfig.backend``) rather than from data.
+    """
+
+
 class InferenceError(ReproError):
     """Model inference failed irrecoverably (e.g. non-finite parameters)."""
 

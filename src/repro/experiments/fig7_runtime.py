@@ -77,14 +77,23 @@ def run(
     answers_per_batch: int = 400,
     seed: int = 0,
     backend: str = "thread",
+    kernel_backend: str = "fused",
+    n_shards: int = 0,
 ) -> ExperimentReport:
-    """Sweep the answer volume and time every mechanism once per level."""
+    """Sweep the answer volume and time every mechanism once per level.
+
+    ``kernel_backend`` / ``n_shards`` select the sweep-kernel backend
+    (fused vs sharded; DESIGN.md §6) for the offline and online engines,
+    exposed on the CLI as ``--kernel-backend`` / ``--shards``.
+    """
     config = CPAConfig(
         seed=seed,
         truncation_clusters=12,
         truncation_communities=8,
         max_iterations=30,
         svi_iterations=1,
+        backend=kernel_backend,
+        n_shards=n_shards,
     )
     methods = ["MV", "EM", "cBCC", "offline", "online"] + [
         f"online-{d}" for d in parallel_degrees

@@ -21,7 +21,10 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Sequence, TypeVar
 
-from repro.errors import ValidationError
+from repro.errors import ConfigurationError, ValidationError
+
+#: executor kinds :func:`make_executor` understands.
+EXECUTOR_KINDS = ("serial", "thread", "process")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -161,11 +164,18 @@ class ProcessExecutor(Executor):
 
 
 def make_executor(kind: str = "serial", degree: int | None = None) -> Executor:
-    """Factory: ``kind`` in {'serial', 'thread', 'process'}."""
+    """Factory: ``kind`` must be one of :data:`EXECUTOR_KINDS`.
+
+    An unknown ``kind`` raises :class:`~repro.errors.ConfigurationError`
+    naming the valid choices — misconfiguration must fail loudly at the
+    seam, not surface later as an attribute error on ``None``.
+    """
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":
         return ThreadExecutor(degree)
     if kind == "process":
         return ProcessExecutor(degree)
-    raise ValidationError(f"unknown executor kind: {kind!r}")
+    raise ConfigurationError(
+        f"unknown executor kind {kind!r}; expected one of {', '.join(EXECUTOR_KINDS)}"
+    )

@@ -1,0 +1,161 @@
+"""Coverage for :mod:`repro.data.streams`: arrival policies and batching.
+
+The batching policies feed the online engine, so their contract is
+exactness: every answer of the source matrix appears in exactly one
+batch (no drops, no duplicates), whatever the policy.  The final class
+closes the loop with the paper's Table-5 protocol: streaming SVI over
+the sharded backend must reproduce the fused path's online numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CPAConfig
+from repro.core.model import CPAModel
+from repro.data.streams import AnswerStream, split_batch
+from repro.errors import ValidationError
+from repro.evaluation.metrics import evaluate_predictions
+from repro.simulation.generator import generate_dataset
+
+from tests.conftest import tiny_config
+
+
+def _all_pairs(matrix):
+    return sorted((a.item, a.worker) for a in matrix.iter_answers())
+
+
+def _batch_pairs(batches):
+    pairs = []
+    for batch in batches:
+        pairs.extend(batch.pairs)
+    return pairs
+
+
+class TestPartitionExactness:
+    """No policy may drop or duplicate an answer."""
+
+    def test_by_workers_partitions_exactly(self, tiny_dataset):
+        matrix = tiny_dataset.answers
+        batches = list(AnswerStream(matrix, seed=3).by_workers(7))
+        pairs = _batch_pairs(batches)
+        assert len(pairs) == matrix.n_answers
+        assert sorted(pairs) == _all_pairs(matrix)
+
+    def test_by_workers_groups_whole_workers(self, tiny_dataset):
+        matrix = tiny_dataset.answers
+        batches = list(AnswerStream(matrix, seed=3).by_workers(7))
+        seen_workers = set()
+        for batch in batches:
+            assert not (set(batch.workers) & seen_workers)
+            seen_workers.update(batch.workers)
+            for worker in batch.workers:
+                expected = {(i, worker) for i in matrix.items_for_worker(worker)}
+                assert expected <= set(batch.pairs)
+
+    @pytest.mark.parametrize("size", [1, 37, 10_000])
+    def test_by_answers_partitions_exactly(self, tiny_dataset, size):
+        matrix = tiny_dataset.answers
+        batches = list(AnswerStream(matrix, seed=5).by_answers(size))
+        pairs = _batch_pairs(batches)
+        assert len(pairs) == matrix.n_answers
+        assert sorted(pairs) == _all_pairs(matrix)
+        assert all(batch.n_answers <= size for batch in batches)
+        # all but the last batch are full
+        assert all(batch.n_answers == size for batch in batches[:-1])
+
+    def test_by_fractions_partitions_exactly(self, tiny_dataset):
+        matrix = tiny_dataset.answers
+        fractions = (0.25, 0.5, 0.8, 1.0)
+        batches = list(AnswerStream(matrix, seed=7).by_fractions(fractions))
+        pairs = _batch_pairs(batches)
+        assert len(pairs) == matrix.n_answers
+        assert sorted(pairs) == _all_pairs(matrix)
+        cumulative = np.cumsum([batch.n_answers for batch in batches])
+        expected = [int(round(f * matrix.n_answers)) for f in fractions]
+        assert cumulative.tolist() == expected
+
+    def test_by_fractions_validates_input(self, tiny_dataset):
+        stream = AnswerStream(tiny_dataset.answers, seed=0)
+        with pytest.raises(ValidationError):
+            list(stream.by_fractions([]))
+        with pytest.raises(ValidationError):
+            list(stream.by_fractions([0.5, 0.4]))
+        with pytest.raises(ValidationError):
+            list(stream.by_fractions([0.0, 1.0]))
+        with pytest.raises(ValidationError):
+            list(stream.by_fractions([0.5, 1.2]))
+
+    def test_policies_reject_nonpositive_sizes(self, tiny_dataset):
+        stream = AnswerStream(tiny_dataset.answers, seed=0)
+        with pytest.raises(ValidationError):
+            list(stream.by_workers(0))
+        with pytest.raises(ValidationError):
+            list(stream.by_answers(-1))
+
+    def test_seed_determinism(self, tiny_dataset):
+        matrix = tiny_dataset.answers
+        a = list(AnswerStream(matrix, seed=11).by_answers(40))
+        b = list(AnswerStream(matrix, seed=11).by_answers(40))
+        assert [batch.pairs for batch in a] == [batch.pairs for batch in b]
+
+
+class TestSplitBatch:
+    def test_respects_max_answers_and_partitions_in_order(self, tiny_dataset):
+        batch = next(AnswerStream(tiny_dataset.answers, seed=1).by_fractions([1.0]))
+        subs = split_batch(batch, max_answers=33)
+        assert all(sub.n_answers <= 33 for sub in subs)
+        assert all(sub.n_answers == 33 for sub in subs[:-1])
+        recombined = [pair for sub in subs for pair in sub.pairs]
+        assert recombined == list(batch.pairs)
+
+    def test_small_batch_passes_through_unsplit(self, tiny_dataset):
+        batch = next(AnswerStream(tiny_dataset.answers, seed=1).by_answers(20))
+        assert split_batch(batch, max_answers=50) == [batch]
+
+    def test_sub_batches_carry_consistent_metadata(self, tiny_dataset):
+        batch = next(AnswerStream(tiny_dataset.answers, seed=2).by_fractions([1.0]))
+        for sub in split_batch(batch, max_answers=41):
+            assert set(sub.workers) == {worker for _, worker in sub.pairs}
+            assert set(sub.items) == {item for item, _ in sub.pairs}
+            assert sub.matrix.n_answers == sub.n_answers
+
+    def test_rejects_nonpositive_max(self, tiny_dataset):
+        batch = next(AnswerStream(tiny_dataset.answers, seed=1).by_answers(20))
+        with pytest.raises(ValidationError):
+            split_batch(batch, max_answers=0)
+
+
+class TestStreamingShardedSVI:
+    """The Table-5 online protocol must be backend-independent."""
+
+    def _online_numbers(self, dataset, backend_kwargs):
+        """Final online P/R via the same path table5_online.py uses."""
+        config = CPAConfig(seed=0, max_truncation=10, **backend_kwargs)
+        stream = AnswerStream(dataset.answers, seed=17)
+        batches = list(stream.by_fractions([i / 5 for i in range(1, 6)]))
+        model = CPAModel(config).fit_online(
+            batches,
+            dataset.n_items,
+            dataset.n_workers,
+            dataset.n_labels,
+            seed=0,
+            total_answers_hint=dataset.n_answers,
+        )
+        result = evaluate_predictions(model.predict(), dataset.truth)
+        return model, result
+
+    def test_sharded_stream_reproduces_table5_online_numbers(self):
+        dataset = generate_dataset(tiny_config(name="t5"), seed=31)
+        fused_model, fused_eval = self._online_numbers(dataset, {})
+        sharded_model, sharded_eval = self._online_numbers(
+            dataset, {"backend": "sharded", "n_shards": 3}
+        )
+        np.testing.assert_allclose(
+            sharded_model._state.phi, fused_model._state.phi, atol=1e-9, rtol=0
+        )
+        np.testing.assert_allclose(
+            sharded_model._state.kappa, fused_model._state.kappa, atol=1e-9, rtol=0
+        )
+        assert sharded_model.predict() == fused_model.predict()
+        assert sharded_eval.precision == pytest.approx(fused_eval.precision, abs=1e-12)
+        assert sharded_eval.recall == pytest.approx(fused_eval.recall, abs=1e-12)

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.errors import ValidationError
+from repro.errors import ConfigurationError, ValidationError
 from repro.utils.parallel import (
+    EXECUTOR_KINDS,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -137,8 +138,19 @@ class TestExecutors:
     def test_factory(self):
         assert isinstance(make_executor("serial"), SerialExecutor)
         assert isinstance(make_executor("thread", 2), ThreadExecutor)
-        with pytest.raises(ValidationError):
+
+    def test_factory_rejects_unknown_kind_with_clear_error(self):
+        """Unknown kinds must raise ConfigurationError naming the choices,
+        never fall through to an implicit default."""
+        with pytest.raises(ConfigurationError) as excinfo:
             make_executor("gpu")
+        message = str(excinfo.value)
+        assert "gpu" in message
+        for kind in EXECUTOR_KINDS:
+            assert kind in message
+        # still catchable as ValidationError for existing callers
+        with pytest.raises(ValidationError):
+            make_executor("spark")
 
     def test_degree_validation(self):
         with pytest.raises(ValidationError):
