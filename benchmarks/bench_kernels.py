@@ -9,8 +9,15 @@ Measures, at several answer volumes, the wall-clock cost of
   comparison;
 * the same sweep/ELBO/batch measurements with the **sharded** backend
   (``CPAConfig.backend = "sharded"``, ``SHARDED_K`` shards, serial
-  executor) so the shard plan/merge overhead is a tracked configuration
-  of the cross-PR regression gate (``benchmarks/check_regression.py``).
+  executor, lane-resident transport — the default since the resident
+  refactor) so the shard plan/merge overhead is a tracked configuration
+  of the cross-PR regression gate (``benchmarks/check_regression.py``);
+* the **transport cost** of the sharded path on a process pool
+  (:func:`measure_sweep_transport`): pickled bytes per sweep for the
+  lane-resident transport (shard kernels broadcast once per plan,
+  per-sweep tasks carry only posteriors) vs the ship-per-task transport,
+  plus the one-off broadcast size.  Byte counts are deterministic, so
+  the recorded ratio is a noise-free record of the transport win.
 
 The synthetic workload mirrors the paper's partial-agreement structure:
 label sets are drawn from a bounded pattern pool with a Zipf-like
@@ -22,6 +29,7 @@ records the trajectory in ``BENCH_core.json`` at the repo root.
 
 from __future__ import annotations
 
+import pickle
 import time
 from typing import Dict, List, Sequence
 
@@ -35,6 +43,7 @@ from repro.core.reference import (
 )
 from repro.core.svi import StochasticInference, stream_from_matrix
 from repro.data.answers import AnswerMatrix
+from repro.utils.parallel import Executor
 
 #: label-space size of the synthetic workload (movie-genre scale).
 N_LABELS = 12
@@ -81,6 +90,95 @@ def build_matrix(
     for item, worker, pattern in zip(items, workers, assignment):
         matrix.add(int(item), int(worker), pool[pattern])
     return matrix
+
+
+class _ByteCountingExecutor(Executor):
+    """Serial-execution executor that pickles every payload the way a
+    process pool would, counting the bytes that would cross the pipe.
+
+    Results are exact for ``map_tasks``/``map_on`` task payloads and for
+    ``broadcast`` payloads (a process pool additionally ships the tiny
+    function reference per task, which is noise at these scales), and the
+    counts are fully deterministic — unlike wall-clock timings.
+    """
+
+    kind = "counting"
+    degree = 1
+
+    def __init__(self) -> None:
+        self.task_bytes = 0
+        self.broadcast_bytes = 0
+        self._resident: Dict[str, object] = {}
+
+    def _count(self, payload: object) -> int:
+        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def map_tasks(self, func, tasks):
+        out = []
+        for task in tasks:
+            self.task_bytes += self._count(task)
+            out.append(func(task))
+        return out
+
+    def broadcast(self, key, payload):
+        self.broadcast_bytes += self._count(payload)
+        self._resident[key] = payload
+
+    def map_on(self, key, func, tasks):
+        payload = self._resident[key]
+        out = []
+        for task in tasks:
+            self.task_bytes += self._count(task)
+            out.append(func(payload, task))
+        return out
+
+    def release(self, key):
+        self._resident.pop(key, None)
+
+
+def measure_sweep_transport(
+    n_answers: int, *, dtype: str = "float64", seed: int = 0
+) -> Dict[str, object]:
+    """Pickled bytes one batch-VI sweep ships to a process pool, per transport.
+
+    Uses the Fig-7 runtime configuration (truncations 12/8 — the
+    process-pool scalability workload) with the ``SHARDED_K``-shard
+    backend.  The ship-per-task transport re-pickles every shard's kernel
+    (answer arrays, pattern tables, segment layouts) into each task of
+    each call; the lane-resident transport broadcasts the shard kernels
+    once per plan and ships only shard indices plus updated posterior
+    rows per sweep.  Both transports produce bitwise-identical results
+    (``tests/test_resident.py``), so the ratio is pure transport saving.
+    """
+    matrix = build_matrix(n_answers, seed=seed)
+    config = CPAConfig(
+        seed=seed,
+        dtype=dtype,
+        truncation_clusters=12,
+        truncation_communities=8,
+        backend="sharded",
+        n_shards=SHARDED_K,
+    )
+    record: Dict[str, object] = {}
+    for label, resident in (("reship", False), ("resident", True)):
+        counter = _ByteCountingExecutor()
+        engine = VariationalInference(
+            config.with_overrides(resident_shards=resident),
+            matrix,
+            executor=counter,
+        )
+        # __init__ ran the seeding statistics pass (and, for the resident
+        # transport, the once-per-plan broadcast); count the steady-state
+        # per-sweep traffic from here.
+        counter.task_bytes = 0
+        engine.sweep()
+        record[f"sharded_{label}_sweep_pickled_bytes"] = int(counter.task_bytes)
+        if resident:
+            record["sharded_broadcast_pickled_bytes"] = int(counter.broadcast_bytes)
+    record["sharded_transport_bytes_ratio"] = float(
+        record["sharded_reship_sweep_pickled_bytes"]
+    ) / float(record["sharded_resident_sweep_pickled_bytes"])
+    return record
 
 
 def _time_calls(func, repeats: int) -> float:
@@ -260,6 +358,13 @@ def run_suite(
                 or key.endswith("_ratio") or key == "answers_per_batch"
             }
         )
+        if include_reference:
+            # Transport bytes are deterministic, so regression
+            # re-measurements (include_reference=False) skip them; the
+            # previously recorded values are carried over by merge_best.
+            record.update(
+                measure_sweep_transport(n_answers, dtype=dtype, seed=seed)
+            )
         records.append(record)
         if verbose and include_reference:
             print(

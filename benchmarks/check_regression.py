@@ -30,6 +30,12 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: key prefixes excluded from the gate (the frozen seed path).
 UNTRACKED_PREFIXES = ("reference_", "svi_reference_")
 
+#: deterministic transport metrics (pickled bytes of the sharded
+#: lane-resident vs ship-per-task paths) carried into the trajectory as
+#: per-case context; they are not wall-clock timings, so the timing gate
+#: never fires on them.
+CONTEXT_SUFFIXES = ("_pickled_bytes", "_bytes_ratio")
+
 #: absolute slowdown (seconds) a regression must also exceed — scheduler
 #: jitter on millisecond-scale cases is relative-threshold noise, not a
 #: regression; real regressions on the multi-millisecond keys clear this
@@ -50,6 +56,21 @@ def tracked_keys(record: Dict[str, object]) -> List[str]:
         if key.endswith("_s")
         and not key.startswith(UNTRACKED_PREFIXES)
         and isinstance(value, (int, float))
+    )
+
+
+def context_keys(record: Dict[str, object]) -> List[str]:
+    """Deterministic per-case context recorded alongside the tracked keys.
+
+    The sharded transport byte counts (resident vs re-ship, plus their
+    ratio) are exact — re-running cannot change them short of a code
+    change — so the trajectory records them per run, but the timing gate
+    does not compare them.
+    """
+    return sorted(
+        key
+        for key, value in record.items()
+        if key.endswith(CONTEXT_SUFFIXES) and isinstance(value, (int, float))
     )
 
 
@@ -124,7 +145,8 @@ def trajectory_entry(payload: Dict[str, object]) -> Dict[str, object]:
         "settings": payload.get("settings"),
         "cases": {
             str(record["n_answers"]): {
-                key: record[key] for key in tracked_keys(record)
+                key: record[key]
+                for key in tracked_keys(record) + context_keys(record)
             }
             for record in payload.get("results", [])
         },

@@ -105,6 +105,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         extend_trajectory,
         run_check,
     )
+    from repro.core.kernels import (
+        SHARDED_ANSWERS_PER_SHARD,
+        SHARDED_MAX_AUTO_SHARDS,
+        SHARDED_MIN_ANSWERS,
+        SHARDED_MIN_ANSWERS_PARALLEL,
+    )
 
     previous = (
         json.loads(args.out.read_text(encoding="utf-8"))
@@ -128,6 +134,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "sweeps": args.sweeps,
             "seed": args.seed,
             "executor": "serial",
+        },
+        # The CPAConfig.backend="auto" selection rule, recorded so the
+        # thresholds live next to the measurements that justify them
+        # (repro.core.kernels is the source of truth at runtime).
+        "auto_backend": {
+            "sharded_min_answers": SHARDED_MIN_ANSWERS,
+            "sharded_min_answers_parallel": SHARDED_MIN_ANSWERS_PARALLEL,
+            "answers_per_shard": SHARDED_ANSWERS_PER_SHARD,
+            "max_auto_shards": SHARDED_MAX_AUTO_SHARDS,
         },
         "results": records,
     }

@@ -6,7 +6,7 @@ Commands
     Show all registered experiments with their paper artefacts.
 ``repro run <id> [--seeds 0,1,2] [--scale 0.5] [--out FILE]
             [--executor thread] [--degree 4]
-            [--kernel-backend sharded] [--shards 4]``
+            [--kernel-backend {fused,sharded,auto}] [--shards 4]``
     Run one experiment (or ``all``) and print/save its report.  The
     executor flags select the parallel backend, and the kernel-backend
     flags the sweep-kernel implementation (fused vs sharded), for
@@ -70,9 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--kernel-backend",
-        choices=("fused", "sharded"),
+        choices=("fused", "sharded", "auto"),
         default=None,
-        help="sweep-kernel backend for experiments that accept one (e.g. fig7)",
+        help="sweep-kernel backend for experiments that accept one (e.g. "
+        "fig7); 'auto' picks fused vs sharded per matrix/batch from the "
+        "answer volume and executor degree",
     )
     run_parser.add_argument(
         "--shards",

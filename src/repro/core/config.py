@@ -86,14 +86,28 @@ class CPAConfig:
         (DESIGN.md §6).
     backend:
         Sweep-kernel backend: ``"fused"`` (default; the serial fused
-        kernel of DESIGN.md §6) or ``"sharded"`` (item-partitioned
+        kernel of DESIGN.md §6), ``"sharded"`` (item-partitioned
         shards whose contractions run as independent executor tasks and
         whose sufficient statistics are merged in fixed shard order;
-        DESIGN.md §6 "Sharded execution").  Both engines honour the
-        selection.
+        DESIGN.md §6 "Sharded execution"), or ``"auto"`` (pick fused vs
+        sharded — and the shard count — per matrix/batch from the answer
+        volume and the executor's lane count, using the measured
+        crossover thresholds of :mod:`repro.core.kernels`, which the
+        perf harness records in ``BENCH_core.json``).  Both engines and
+        the SVI per-batch route honour the selection.
     n_shards:
         Shard count ``K`` for the sharded backend; ``0`` (auto) uses one
-        shard per executor lane.  Ignored by the fused backend.
+        shard per executor lane (``backend="auto"`` instead sizes K from
+        the answer volume).  Ignored by the fused backend.
+    resident_shards:
+        When true (default), a sharded run broadcasts its shard kernels
+        to the executor's lanes **once per plan** and per-sweep tasks
+        carry only the updated posteriors (DESIGN.md §6 "Lane-resident
+        shard state") — the big win for process pools, where re-shipping
+        every shard's pattern tables each call dominates the payload.
+        ``False`` restores the ship-per-task transport (the two paths
+        are bitwise identical; the flag exists as an escape hatch and
+        for the benchmarked comparison).
     seed:
         Seed for the random initialisation of the variational state.
     """
@@ -120,6 +134,7 @@ class CPAConfig:
     dtype: str = "float64"
     backend: str = "fused"
     n_shards: int = 0
+    resident_shards: bool = True
     seed: int = 0
     max_truncation: int = 40
     init_noise: float = 0.5
@@ -154,9 +169,10 @@ class CPAConfig:
             raise ValidationError(
                 f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
             )
-        if self.backend not in ("fused", "sharded"):
+        if self.backend not in ("fused", "sharded", "auto"):
             raise ConfigurationError(
-                f"backend must be 'fused' or 'sharded', got {self.backend!r}"
+                f"backend must be 'fused', 'sharded', or 'auto', "
+                f"got {self.backend!r}"
             )
         if self.n_shards < 0:
             raise ValidationError("n_shards must be non-negative (0 = auto)")
@@ -173,6 +189,34 @@ class CPAConfig:
         regardless of the executor.
         """
         return self.n_shards if self.n_shards > 0 else max(1, int(degree))
+
+    def resolve_backend(self, n_answers: int, degree: int = 1) -> tuple[str, int]:
+        """Concrete ``(backend, n_shards)`` for a matrix/batch of ``n_answers``.
+
+        Explicit ``"fused"`` / ``"sharded"`` selections pass through
+        (with :meth:`resolve_shards` sizing K for the latter).  ``"auto"``
+        applies the measured rule of :func:`repro.core.kernels.sharded_pays_off`:
+        sharded above the volume crossover (lowered when the executor has
+        parallel lanes), fused below it, with K sized by
+        :func:`repro.core.kernels.auto_shard_count` unless ``n_shards``
+        pins it.  Callers resolve per matrix — the SVI engine per batch —
+        so one config serves mixed workloads.
+        """
+        if self.backend == "fused":
+            return "fused", 0
+        if self.backend == "sharded":
+            return "sharded", self.resolve_shards(degree)
+        # Local import: kernels imports state, which imports this module.
+        from repro.core.kernels import auto_shard_count, sharded_pays_off
+
+        if sharded_pays_off(int(n_answers), int(degree)):
+            k = (
+                self.n_shards
+                if self.n_shards > 0
+                else auto_shard_count(int(n_answers), int(degree))
+            )
+            return "sharded", k
+        return "fused", 0
 
     def resolve_truncations(self, n_items: int, n_workers: int) -> tuple[int, int]:
         """Concrete ``(T, M)`` for a dataset of the given size.

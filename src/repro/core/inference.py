@@ -139,7 +139,9 @@ class VariationalInference:
         self.n_workers = answers.n_workers
         self.n_labels = answers.n_labels
         # Backend seam (DESIGN.md §6): `config.backend` selects the fused
-        # serial kernel or the sharded one; both expose the same sweep API.
+        # serial kernel, the sharded one (lane-resident by default), or —
+        # with "auto" — whichever the answer volume and executor degree
+        # favour; all expose the same sweep API.
         self.kernel = build_sweep_kernel(
             config,
             self.items,

@@ -60,6 +60,57 @@ def dedup_pays_off(n_patterns: int, n_answers: int) -> bool:
     return n_patterns <= min(PATTERN_LIMIT, max(64, (3 * n_answers) // 4))
 
 
+# ---------------------------------------------------- backend auto-selection
+#
+# Thresholds behind ``CPAConfig.backend = "auto"``.  Calibrated against the
+# measured trajectory in BENCH_core.json (which records them alongside the
+# timings): the K=4 serial sharded sweep crosses below 1.0x the fused sweep
+# between 50k and 200k answers (0.91x @ 50k is within noise of parity,
+# 0.57x @ 200k is a solid win from per-shard cache locality), while at 10k
+# answers the plan/merge overhead makes it ~2.3x slower.  With parallel
+# lanes the fan-out also buys concurrency, so the crossover moves down.
+
+#: answer volume above which a *serial* sharded sweep beats the fused one.
+SHARDED_MIN_ANSWERS = 100_000
+
+#: crossover with ≥2 executor lanes (shards also run concurrently).
+SHARDED_MIN_ANSWERS_PARALLEL = 25_000
+
+#: target answers per shard when auto-selecting K (matches the tracked
+#: K=4 @ 200k-answers configuration of BENCH_core.json).
+SHARDED_ANSWERS_PER_SHARD = 50_000
+
+#: cap on the auto-selected shard count — beyond this, per-shard pattern
+#: tables get small enough that dispatch overhead dominates.
+SHARDED_MAX_AUTO_SHARDS = 16
+
+
+def sharded_pays_off(n_answers: int, degree: int = 1) -> bool:
+    """The ``backend="auto"`` rule: route this matrix through shards?
+
+    Below the crossover volume the fused serial kernel wins (shard plan
+    construction and per-sweep dispatch/merge are fixed costs); above it
+    the smaller per-shard pattern groups fit cache markedly better, and
+    parallel lanes lower the bar further.  The SVI per-batch route calls
+    this with the *batch* answer count, so ordinary 100-answer batches
+    stay fused while bulk arrival increments can go sharded.
+    """
+    floor = SHARDED_MIN_ANSWERS_PARALLEL if degree > 1 else SHARDED_MIN_ANSWERS
+    return n_answers >= floor
+
+
+def auto_shard_count(n_answers: int, degree: int = 1) -> int:
+    """Shard count ``K`` for an auto-selected sharded run.
+
+    One shard per :data:`SHARDED_ANSWERS_PER_SHARD` answers, with the
+    volume-driven count capped at :data:`SHARDED_MAX_AUTO_SHARDS` — but
+    never fewer than the executor's lane count, which wins over the cap:
+    every lane should own work.
+    """
+    by_volume = min(SHARDED_MAX_AUTO_SHARDS, n_answers // SHARDED_ANSWERS_PER_SHARD)
+    return max(1, int(degree), by_volume)
+
+
 def unique_patterns(indicators: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Deduplicate indicator rows into ``(patterns, index)``.
 

@@ -31,14 +31,27 @@ Combine semantics (the parity contract of ``tests/test_sharded.py``):
   path it only reassociates the per-segment sums, keeping trajectories
   within ``1e-10`` on float64.
 
-Each shard task ships the shard's :class:`SweepKernel` (plain numpy
-arrays — picklable for process pools) plus only that shard's ϕ/κ rows.
-The global pattern table is deduplicated once; shards inherit derived
-sub-tables instead of re-sorting their indicator rows.
+Transport (DESIGN.md §6 "Lane-resident shard state"): by default the
+shard kernels are **lane-resident** — :class:`ShardedSweepKernel`
+broadcasts the shard tuple to the executor once per plan
+(:meth:`~repro.utils.parallel.Executor.broadcast`) and every per-sweep
+task then carries only the shard index plus the small updated posteriors
+(ϕ/κ rows, the sweep's ``E[ln ψ]``), routed through
+:meth:`~repro.utils.parallel.Executor.map_on`.  For process pools this
+cuts per-sweep pickled bytes by an order of magnitude (the shard's
+pattern tables and answer arrays ship once per plan instead of once per
+task per call; ``BENCH_core.json`` records the measured ratio) and is
+the prerequisite for a multi-node transport.  ``resident=False``
+restores the ship-per-task path — both transports execute identical
+numpy ops in identical order, so their results are bitwise equal
+(``tests/test_resident.py``).  Broadcast state is evicted when the
+executor closes.
 """
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -277,6 +290,54 @@ def _shard_data_elbo_task(task) -> float:
     return kernel.data_elbo(phi_rows, kappa_rows, e_log_psi)
 
 
+# ------------------------------------------------------------ resident tasks
+#
+# map_on variants of the task functions above: the shard tuple is
+# lane-resident (broadcast once per plan), so each task names its shard by
+# index and carries only the per-sweep posteriors.  Bodies delegate to the
+# ship-per-task functions so the two transports cannot drift.
+
+
+def _resident_worker_scores(shards, task) -> np.ndarray:
+    k, e_log_psi, phi_rows = task
+    return _shard_worker_scores_task((shards[k].kernel, e_log_psi, phi_rows))
+
+
+def _resident_item_scores(shards, task) -> np.ndarray:
+    k, e_log_psi, kappa_rows = task
+    return _shard_item_scores_task((shards[k].kernel, e_log_psi, kappa_rows))
+
+
+def _resident_cell_statistics(shards, task) -> Tuple[np.ndarray, np.ndarray]:
+    k, phi_rows, kappa_rows = task
+    return _shard_cell_statistics_task((shards[k].kernel, phi_rows, kappa_rows))
+
+
+def _resident_data_elbo(shards, task) -> float:
+    k, phi_rows, kappa_rows, e_log_psi = task
+    return _shard_data_elbo_task((shards[k].kernel, phi_rows, kappa_rows, e_log_psi))
+
+
+#: process-unique suffix source for broadcast keys (two live kernels must
+#: never share a key on the same executor).
+_BROADCAST_KEYS = itertools.count()
+
+
+def _next_broadcast_key() -> str:
+    return f"shard-plan-{next(_BROADCAST_KEYS)}"
+
+
+def _release_broadcast(executors, key: str) -> None:
+    """Drop ``key`` from every executor still alive in the weak set.
+
+    Module-level so a :mod:`weakref` finalizer can call it without
+    keeping the kernel itself alive; ``Executor.release`` is a no-op for
+    unknown/closed state, so double release is safe.
+    """
+    for executor in list(executors):
+        executor.release(key)
+
+
 # --------------------------------------------------------------------- kernel
 
 
@@ -288,6 +349,16 @@ class ShardedSweepKernel:
     ``data_elbo``) so :class:`~repro.core.inference.VariationalInference`
     and the per-batch SVI path can select it without code changes; merge
     semantics are documented in the module docstring.
+
+    ``resident=True`` (default) keeps the shard kernels lane-resident:
+    the shard tuple is broadcast to each executor once (on first use) and
+    per-sweep tasks carry only ``(shard index, posterior rows)`` through
+    ``map_on``.  ``resident=False`` ships each shard's kernel inside
+    every task — same ops, same order, bitwise-equal results.  The
+    module-level serial fallback (methods called without an executor)
+    always runs ship-per-task: serial dispatch passes references, so
+    residency would only pin plan payloads into the shared default
+    executor for no benefit.
     """
 
     def __init__(
@@ -302,8 +373,20 @@ class ShardedSweepKernel:
         patterned: Optional[bool] = None,
         patterns: Optional[np.ndarray] = None,
         pattern_index: Optional[np.ndarray] = None,
+        resident: bool = True,
     ) -> None:
         self.dtype = np.dtype(dtype)
+        self.resident = bool(resident)
+        self._broadcast_key = _next_broadcast_key()
+        #: executors that already hold this plan (weak: an executor's
+        #: lifetime is the caller's business, not the kernel's).  The
+        #: finalizer retires the plan from surviving executors when the
+        #: kernel is collected, so long-lived executors serving many
+        #: successive fits do not accumulate dead plans.
+        self._installed: "weakref.WeakSet" = weakref.WeakSet()
+        self._finalizer = weakref.finalize(
+            self, _release_broadcast, self._installed, self._broadcast_key
+        )
         self.plan = ShardPlan(
             items,
             workers,
@@ -328,6 +411,57 @@ class ShardedSweepKernel:
         # cache hit (serial/thread executors share the kernel objects).
         self._phi_slices: Optional[Tuple[np.ndarray, List[np.ndarray]]] = None
         self._kappa_slices: Optional[Tuple[np.ndarray, List[np.ndarray]]] = None
+
+    # ------------------------------------------------------------ transport
+
+    def __getstate__(self) -> dict:
+        # WeakSets and finalizers do not pickle; a clone starts with no
+        # lanes installed and a fresh key (sharing the original's key
+        # could alias another kernel's broadcast in the unpickling
+        # process).
+        state = self.__dict__.copy()
+        state["_installed"] = None
+        state["_finalizer"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._installed = weakref.WeakSet()
+        self._broadcast_key = _next_broadcast_key()
+        self._finalizer = weakref.finalize(
+            self, _release_broadcast, self._installed, self._broadcast_key
+        )
+
+    def evict(self) -> None:
+        """Release this plan's broadcast state from every installed executor.
+
+        Called when a plan is retired while its executor lives on (the SVI
+        engine replaces its per-batch kernel every batch); the finalizer
+        does the same when the kernel is garbage-collected, and the
+        executor's own :meth:`~repro.utils.parallel.Executor.close`
+        evicts everything — so calling this is an optimisation, not a
+        duty.
+        """
+        _release_broadcast(self._installed, self._broadcast_key)
+        self._installed.clear()
+
+    def _fan_out(self, executor: Executor, resident_func, reship_func, tasks):
+        """Run per-shard tasks on ``executor`` via the selected transport.
+
+        ``tasks`` lead with the shard index; the re-ship path swaps that
+        index for the shard's kernel object so both transports execute
+        the exact same task bodies.  Results come back in task order —
+        the fixed-order merge contract.
+        """
+        if self.resident and executor is not _SERIAL:
+            if executor not in self._installed:
+                executor.broadcast(self._broadcast_key, tuple(self.plan.shards))
+                self._installed.add(executor)
+            return executor.map_on(self._broadcast_key, resident_func, tasks)
+        shards = self.plan.shards
+        return executor.map_tasks(
+            reship_func, [(shards[task[0]].kernel,) + task[1:] for task in tasks]
+        )
 
     # ---------------------------------------------------------------- sweep
 
@@ -366,10 +500,12 @@ class ShardedSweepKernel:
         if self._e_log_psi is None:
             raise RuntimeError("begin_sweep must be called before score accumulation")
         tasks = [
-            (shard.kernel, self._e_log_psi, rows)
+            (shard.index, self._e_log_psi, rows)
             for shard, rows in zip(self.plan.shards, self._item_rows(phi))
         ]
-        pieces = executor.map_tasks(_shard_worker_scores_task, tasks)
+        pieces = self._fan_out(
+            executor, _resident_worker_scores, _shard_worker_scores_task, tasks
+        )
         return merge_scores(
             out,
             [
@@ -386,10 +522,12 @@ class ShardedSweepKernel:
         if self._e_log_psi is None:
             raise RuntimeError("begin_sweep must be called before score accumulation")
         tasks = [
-            (shard.kernel, self._e_log_psi, rows)
+            (shard.index, self._e_log_psi, rows)
             for shard, rows in zip(self.plan.shards, self._worker_rows(kappa))
         ]
-        pieces = executor.map_tasks(_shard_item_scores_task, tasks)
+        pieces = self._fan_out(
+            executor, _resident_item_scores, _shard_item_scores_task, tasks
+        )
         return merge_scores(
             out,
             [
@@ -413,13 +551,15 @@ class ShardedSweepKernel:
                 np.zeros((t, m), dtype=dtype),
             )
         tasks = [
-            (shard.kernel, phi_rows, kappa_rows)
+            (shard.index, phi_rows, kappa_rows)
             for shard, phi_rows, kappa_rows in zip(
                 self.plan.shards, self._item_rows(phi), self._worker_rows(kappa)
             )
         ]
         return merge_cell_statistics(
-            executor.map_tasks(_shard_cell_statistics_task, tasks)
+            self._fan_out(
+                executor, _resident_cell_statistics, _shard_cell_statistics_task, tasks
+            )
         )
 
     def data_elbo(
@@ -433,12 +573,14 @@ class ShardedSweepKernel:
         executor = executor or _SERIAL
         e_log_psi = np.ascontiguousarray(e_log_psi, dtype=self.dtype)
         tasks = [
-            (shard.kernel, phi_rows, kappa_rows, e_log_psi)
+            (shard.index, phi_rows, kappa_rows, e_log_psi)
             for shard, phi_rows, kappa_rows in zip(
                 self.plan.shards, self._item_rows(phi), self._worker_rows(kappa)
             )
         ]
-        return float(sum(executor.map_tasks(_shard_data_elbo_task, tasks)))
+        return float(
+            sum(self._fan_out(executor, _resident_data_elbo, _shard_data_elbo_task, tasks))
+        )
 
 
 # -------------------------------------------------------------------- factory
@@ -456,14 +598,21 @@ def build_sweep_kernel(
 ):
     """Kernel-backend selection seam for both engines.
 
-    ``config.backend == "sharded"`` returns a :class:`ShardedSweepKernel`
-    with ``config.resolve_shards(executor.degree)`` shards; anything else
-    returns the fused serial :class:`SweepKernel`.  ``CPAConfig`` already
-    validated the backend name.
+    The concrete backend comes from
+    :meth:`~repro.core.config.CPAConfig.resolve_backend` on the matrix's
+    answer count and the executor's lane count — explicit ``"fused"`` /
+    ``"sharded"`` selections pass through, ``"auto"`` applies the
+    measured volume thresholds of :mod:`repro.core.kernels`.  A sharded
+    selection honours ``config.resident_shards`` (lane-resident vs
+    ship-per-task transport).  ``CPAConfig`` already validated the
+    backend name.
     """
     dtype = config.resolve_dtype()
-    if config.backend == "sharded":
-        degree = getattr(executor, "degree", 1) if executor is not None else 1
+    degree = getattr(executor, "degree", 1) if executor is not None else 1
+    backend, n_shards = config.resolve_backend(
+        int(np.asarray(items).size), degree
+    )
+    if backend == "sharded":
         return ShardedSweepKernel(
             items,
             workers,
@@ -471,7 +620,8 @@ def build_sweep_kernel(
             n_items=n_items,
             n_workers=n_workers,
             dtype=dtype,
-            n_shards=config.resolve_shards(degree),
+            n_shards=n_shards,
+            resident=config.resident_shards,
         )
     return SweepKernel(
         items,

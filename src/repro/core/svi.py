@@ -526,16 +526,38 @@ class StochasticInference:
         self._chunk_plan_cache = (data, degree, plans)
         return plans
 
-    def _batch_kernel(self, data: _BatchData) -> ShardedSweepKernel:
+    def _batch_backend(self, data: _BatchData) -> Tuple[str, int]:
+        """Concrete ``(backend, n_shards)`` for this batch's answer count.
+
+        Resolved per batch so ``backend="auto"`` keeps ordinary
+        paper-sized batches on the fused MAP path while bulk arrival
+        increments cross the sharded volume threshold.  A cached kernel
+        from a *previous* batch is retired here — not only when the next
+        sharded batch replaces it — so that in auto mode one bulk
+        sharded batch followed by a fused-only tail cannot stay resident
+        on the lanes for the rest of the stream.
+        """
+        cache = self._batch_kernel_cache
+        if cache is not None and cache[0] is not data:
+            cache[1].evict()
+            self._batch_kernel_cache = None
+        return self.config.resolve_backend(data.items.size, self.executor.degree)
+
+    def _batch_kernel(self, data: _BatchData, n_shards: int) -> ShardedSweepKernel:
         """Per-batch sharded kernel over the batch-local index spaces.
 
         Cached on batch identity so the ``svi_iterations`` local passes
         (and the post-damping statistics recomputation) share one shard
-        plan per batch.
+        plan per batch — and, with the resident transport, one broadcast
+        per batch.
         """
         cache = self._batch_kernel_cache
         if cache is not None and cache[0] is data:
             return cache[1]
+        if cache is not None:
+            # Retire the previous batch's plan from the executor lanes so a
+            # long stream cannot accumulate resident payloads.
+            cache[1].evict()
         kernel = ShardedSweepKernel(
             data.item_local,
             data.worker_local,
@@ -543,11 +565,12 @@ class StochasticInference:
             n_items=int(data.batch_items.size),
             n_workers=int(data.batch_workers.size),
             dtype=self.config.resolve_dtype(),
-            n_shards=self.config.resolve_shards(self.executor.degree),
+            n_shards=n_shards,
             # _prepare_batch already deduplicated these exact rows; reuse
             # its tables instead of re-sorting per batch.
             patterns=data.patterns,
             pattern_index=data.pattern_index,
+            resident=self.config.resident_shards,
         )
         self._batch_kernel_cache = (data, kernel)
         return kernel
@@ -566,7 +589,7 @@ class StochasticInference:
         contractions run as one executor task and the partials merge in
         fixed shard order (see :mod:`repro.core.sharding`).
         """
-        kernel = self._batch_kernel(data)
+        kernel = self._batch_kernel(data, self._batch_backend(data)[1])
         kernel.begin_sweep(e_log_psi)
         scores = np.tile(e_log_pi, (data.batch_workers.size, 1))
         kernel.add_worker_scores(scores, phi_batch, self.executor)
@@ -591,11 +614,12 @@ class StochasticInference:
         chunk of workers is a contiguous answer range) before submission,
         keeping process-pool payloads proportional to each lane's share.
         The λ counts are reduced in pattern space and finished with a
-        single matmul against the batch's pattern table.  With
-        ``CPAConfig.backend == "sharded"`` the batch is instead routed
-        through :meth:`_sharded_map_reduce`.
+        single matmul against the batch's pattern table.  When
+        :meth:`_batch_backend` resolves to ``"sharded"`` (explicit
+        config, or ``"auto"`` on a large batch) the batch is instead
+        routed through :meth:`_sharded_map_reduce`.
         """
-        if self.config.backend == "sharded":
+        if self._batch_backend(data)[0] == "sharded":
             return self._sharded_map_reduce(data, phi_batch, e_log_pi, e_log_psi)
         pattern_like = self._pattern_likelihood(data, e_log_psi)
         n_patterns = data.patterns.shape[0]
@@ -638,8 +662,9 @@ class StochasticInference:
         matmul against the pattern table (shard-merged under the sharded
         backend).
         """
-        if self.config.backend == "sharded":
-            return self._batch_kernel(data).cell_statistics(
+        backend, n_shards = self._batch_backend(data)
+        if backend == "sharded":
+            return self._batch_kernel(data, n_shards).cell_statistics(
                 phi_batch, kappa_batch, self.executor
             )
         n_patterns = data.patterns.shape[0]

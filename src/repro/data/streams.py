@@ -30,6 +30,14 @@ class AnswerBatch:
     ``pairs`` holds the (item, worker) coordinates present in the batch;
     ``matrix`` is a (sparse) answer matrix restricted to exactly those
     pairs, over the *full* index spaces so parameters stay aligned.
+
+    ``index`` numbers batches consecutively within their stream;
+    ``sub_index`` distinguishes the sub-batches :func:`split_batch`
+    carves out of one stream batch (0 for unsplit batches).  Use
+    :attr:`batch_id` — the ``(index, sub_index)`` pair — as the batch's
+    identity: sub-batch indices alone would collide with later stream
+    batches (parent 3 split in four must not masquerade as batches
+    4, 5, 6).
     """
 
     index: int
@@ -37,6 +45,12 @@ class AnswerBatch:
     items: Tuple[int, ...]
     pairs: Tuple[Tuple[int, int], ...]
     matrix: AnswerMatrix
+    sub_index: int = 0
+
+    @property
+    def batch_id(self) -> Tuple[int, int]:
+        """Collision-free identity: ``(stream index, split offset)``."""
+        return (self.index, self.sub_index)
 
     @property
     def n_answers(self) -> int:
@@ -83,6 +97,11 @@ class AnswerStream:
 
         ``fractions`` must be strictly increasing in ``(0, 1]``; batch ``b``
         carries the answers between cumulative cut ``b-1`` and ``b``.
+
+        On small matrices (or very close fractions) adjacent cuts can
+        round to the same answer index; such empty arrival windows are
+        merged into their successor rather than emitted, so every yielded
+        batch has ``n_answers > 0`` and batch indices stay consecutive.
         """
         fracs = [float(f) for f in fractions]
         if not fracs or any(not 0 < f <= 1 for f in fracs):
@@ -93,9 +112,15 @@ class AnswerStream:
         order = np.arange(len(pairs))
         self._rng.shuffle(order)
         cuts = [0] + [int(round(f * len(pairs))) for f in fracs]
-        for index, (lo, hi) in enumerate(zip(cuts, cuts[1:])):
+        index = 0
+        for lo, hi in zip(cuts, cuts[1:]):
+            if lo == hi:
+                # collapsed cut: int(round(f * n)) landed on the previous
+                # boundary — nothing arrived in this window
+                continue
             chunk = [pairs[i] for i in order[lo:hi]]
             yield self._build_batch(index, chunk)
+            index += 1
 
     # ------------------------------------------------------------------ helpers
 
@@ -118,8 +143,13 @@ def split_batch(batch: AnswerBatch, max_answers: int) -> List[AnswerBatch]:
     """Split one batch into consecutive sub-batches of ``≤ max_answers``.
 
     Used to feed large arrival increments to the SVI engine at the paper's
-    per-step batch size; the sub-batches partition the original pairs in
-    order, and sub-batch indices restart from the parent's index.
+    per-step batch size.  The sub-batches partition the original pairs in
+    order; each keeps the parent's ``index`` and takes its split offset as
+    ``sub_index``, so the ``(index, sub_index)`` pair
+    (:attr:`AnswerBatch.batch_id`) identifies every sub-batch without
+    colliding with later batches of the same stream (the old
+    ``parent.index + offset`` numbering made parent 3's pieces
+    indistinguishable from batches 4, 5, 6).
     """
     if max_answers <= 0:
         raise ValidationError("max_answers must be positive")
@@ -131,11 +161,12 @@ def split_batch(batch: AnswerBatch, max_answers: int) -> List[AnswerBatch]:
         submatrix = batch.matrix.subset(chunk)
         out.append(
             AnswerBatch(
-                index=batch.index + offset,
+                index=batch.index,
                 workers=tuple(sorted({worker for _, worker in chunk})),
                 items=tuple(sorted({item for item, _ in chunk})),
                 pairs=tuple(chunk),
                 matrix=submatrix,
+                sub_index=offset,
             )
         )
     return out

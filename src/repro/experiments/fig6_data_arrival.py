@@ -55,19 +55,33 @@ def arrival_curves(
         "offline_precision": [],
         "offline_recall": [],
     }
+    # One curve point per *fraction*: the stream merges collapsed arrival
+    # windows away (small matrices can round adjacent cuts to the same
+    # answer index), so batches are consumed by cumulative answer count
+    # and a fraction whose window was empty repeats the previous point —
+    # nothing new arrived at that arrival level.
     accumulated = AnswerMatrix(dataset.n_items, dataset.n_workers, dataset.n_labels)
-    for batch in batches:
-        online.partial_fit(batch)
-        accumulated = accumulated.merged_with(batch.matrix)
-
-        online_eval = evaluate_predictions(online.predict(), dataset.truth)
-        offline_model = CPAModel(config).fit(accumulated, seed=seed)
-        offline_eval = evaluate_predictions(offline_model.predict(), dataset.truth)
-
-        curves["online_precision"].append(online_eval.precision)
-        curves["online_recall"].append(online_eval.recall)
-        curves["offline_precision"].append(offline_eval.precision)
-        curves["offline_recall"].append(offline_eval.recall)
+    batch_iter = iter(batches)
+    consumed = 0
+    evals = None
+    for fraction in fractions:
+        target = int(round(fraction * dataset.n_answers))
+        arrived = False
+        while consumed < target:
+            batch = next(batch_iter)
+            online.partial_fit(batch)
+            accumulated = accumulated.merged_with(batch.matrix)
+            consumed += batch.n_answers
+            arrived = True
+        if arrived or evals is None:
+            online_eval = evaluate_predictions(online.predict(), dataset.truth)
+            offline_model = CPAModel(config).fit(accumulated, seed=seed)
+            offline_eval = evaluate_predictions(offline_model.predict(), dataset.truth)
+            evals = (online_eval, offline_eval)
+        curves["online_precision"].append(evals[0].precision)
+        curves["online_recall"].append(evals[0].recall)
+        curves["offline_precision"].append(evals[1].precision)
+        curves["offline_recall"].append(evals[1].recall)
     return curves
 
 

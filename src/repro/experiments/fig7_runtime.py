@@ -83,8 +83,10 @@ def run(
     """Sweep the answer volume and time every mechanism once per level.
 
     ``kernel_backend`` / ``n_shards`` select the sweep-kernel backend
-    (fused vs sharded; DESIGN.md §6) for the offline and online engines,
-    exposed on the CLI as ``--kernel-backend`` / ``--shards``.
+    (``fused``, ``sharded``, or ``auto`` — the latter picks per
+    matrix/batch from answer volume and executor degree; DESIGN.md §6)
+    for the offline and online engines, exposed on the CLI as
+    ``--kernel-backend`` / ``--shards``.
     """
     config = CPAConfig(
         seed=seed,

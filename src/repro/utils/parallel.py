@@ -13,13 +13,33 @@ interchangeable executors with that exact contract:
 Executors map a function over *chunks* of an index range so per-task
 overhead is amortised, mirroring how Alg. 3 shards the answer matrix by
 worker key.
+
+Stateful lanes (DESIGN.md §6 "Lane-resident shard state"): every executor
+additionally supports :meth:`Executor.broadcast` /
+:meth:`Executor.map_on`, the pair the sharded sweep backend uses to keep
+large read-only payloads (shard kernels) resident at the lanes so that
+per-sweep tasks carry only the small updated posteriors.  Serial and
+thread backends hold broadcast state in-process; the process backend
+spills each payload to a per-executor scratch file and installs a
+path registry into every worker via the pool initializer (spawn-safe —
+nothing relies on fork inheritance), with workers lazily unpickling a
+payload the first time a ``map_on`` task lands on them.  Broadcasting
+after the pool is up therefore never recycles worker processes: the new
+payload's path rides along with the next ``map_on`` call.  All broadcast
+state — registry, scratch files, and the worker processes holding
+unpickled copies — is released by :meth:`Executor.close`.
 """
 
 from __future__ import annotations
 
+import functools
 import os
+import pickle
+import shutil
+import tempfile
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
 
 from repro.errors import ConfigurationError, ValidationError
 
@@ -31,7 +51,14 @@ R = TypeVar("R")
 
 
 def split_chunks(n: int, parts: int) -> List[range]:
-    """Split ``range(n)`` into at most ``parts`` contiguous, balanced ranges."""
+    """Split ``range(n)`` into at most ``parts`` contiguous, balanced ranges.
+
+    ``n == 0`` yields **no** chunks (``[]``), so :meth:`Executor.map_chunks`
+    over an empty index range returns an empty result list — callers that
+    fold the pieces must treat "no pieces" as the identity of their
+    reduction (all in-repo callers do; ``tests/test_utils_misc.py`` pins
+    the contract so a reduction step cannot be dropped silently).
+    """
     if n < 0:
         raise ValidationError("n must be non-negative")
     if parts <= 0:
@@ -48,10 +75,13 @@ def split_chunks(n: int, parts: int) -> List[range]:
 
 
 class Executor:
-    """Maps work over chunks or explicit task lists; see module docstring."""
+    """Maps work over chunks, explicit task lists, or lane-resident state."""
 
     #: number of parallel lanes the executor exposes (1 for serial).
     degree: int = 1
+
+    #: executor kind, used by error messages (loud-failure policy).
+    kind: str = "abstract"
 
     def map_chunks(
         self, func: Callable[[Sequence[int]], R], n: int
@@ -68,8 +98,51 @@ class Executor:
         """
         raise NotImplementedError
 
+    # ------------------------------------------------------------ resident
+
+    def broadcast(self, key: str, payload: object) -> None:
+        """Install ``payload`` as lane-resident state under ``key``.
+
+        The payload becomes available to every lane for subsequent
+        :meth:`map_on` calls; re-broadcasting a key replaces its payload.
+        Process lanes receive the payload **once** (not per task), which
+        is the point: a sharded sweep broadcasts its shard kernels once
+        per plan and then ships only small per-sweep posteriors.
+        """
+        raise NotImplementedError
+
+    def map_on(
+        self, key: str, func: Callable[[Any, T], R], tasks: Sequence[T]
+    ) -> List[R]:
+        """Apply ``func(payload, task)`` per task against the resident payload.
+
+        ``payload`` is the object last :meth:`broadcast` under ``key``;
+        an unknown key raises :class:`~repro.errors.ConfigurationError`.
+        Results preserve task order (the fixed-order merge contract of
+        the sharded backend relies on this).
+        """
+        raise NotImplementedError
+
+    def release(self, key: str) -> None:
+        """Drop the resident payload under ``key`` (missing keys are a no-op)."""
+        raise NotImplementedError
+
     def close(self) -> None:
-        """Release any pooled resources; idempotent."""
+        """Release pooled resources **and all broadcast state**; idempotent."""
+
+    def _check_open(self) -> None:
+        if getattr(self, "_closed", False):
+            raise ConfigurationError(
+                f"{self.kind} executor has been closed; create a fresh "
+                "executor (closed pools evict their broadcast state and "
+                "never restart)"
+            )
+
+    def _missing_key(self, key: str) -> ConfigurationError:
+        return ConfigurationError(
+            f"no broadcast state under key {key!r} on this {self.kind} "
+            "executor; call broadcast() first (state is evicted on close())"
+        )
 
     def __enter__(self) -> "Executor":
         return self
@@ -82,31 +155,62 @@ class SerialExecutor(Executor):
     """Run every chunk in the calling thread (the default backend)."""
 
     degree = 1
+    kind = "serial"
+
+    def __init__(self) -> None:
+        self._resident: Dict[str, object] = {}
+        self._closed = False
 
     def map_chunks(self, func: Callable[[Sequence[int]], R], n: int) -> List[R]:
+        self._check_open()
         return [func(chunk) for chunk in split_chunks(n, 1)]
 
     def map_tasks(self, func: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        self._check_open()
         return [func(task) for task in tasks]
+
+    def broadcast(self, key: str, payload: object) -> None:
+        self._check_open()
+        self._resident[key] = payload
+
+    def map_on(
+        self, key: str, func: Callable[[Any, T], R], tasks: Sequence[T]
+    ) -> List[R]:
+        self._check_open()
+        if key not in self._resident:
+            raise self._missing_key(key)
+        payload = self._resident[key]
+        return [func(payload, task) for task in tasks]
+
+    def release(self, key: str) -> None:
+        self._resident.pop(key, None)
+
+    def close(self) -> None:
+        self._closed = True
+        self._resident.clear()
 
 
 class ThreadExecutor(Executor):
     """Thread-pool backend; ``degree`` threads over ``degree`` chunks.
 
     The pool is created lazily on first use, so constructing an executor
-    that is never exercised cannot leak worker threads.
+    that is never exercised cannot leak worker threads.  Broadcast state
+    lives in-process (threads share the address space), so :meth:`map_on`
+    hands every worker the same payload object by reference.
     """
+
+    kind = "thread"
 
     def __init__(self, degree: int | None = None) -> None:
         if degree is not None and degree <= 0:
             raise ValidationError("degree must be positive")
         self.degree = int(degree or os.cpu_count() or 1)
         self._pool: ThreadPoolExecutor | None = None
+        self._resident: Dict[str, object] = {}
         self._closed = False
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._closed:
-            raise RuntimeError("executor has been closed")
+        self._check_open()
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.degree)
         return self._pool
@@ -118,35 +222,125 @@ class ThreadExecutor(Executor):
     def map_tasks(self, func: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
         return list(self._ensure_pool().map(func, tasks))
 
+    def broadcast(self, key: str, payload: object) -> None:
+        self._check_open()
+        self._resident[key] = payload
+
+    def map_on(
+        self, key: str, func: Callable[[Any, T], R], tasks: Sequence[T]
+    ) -> List[R]:
+        self._check_open()
+        if key not in self._resident:
+            # validate before _ensure_pool: a bad key must not cost a pool
+            raise self._missing_key(key)
+        payload = self._resident[key]
+        return list(self._ensure_pool().map(lambda task: func(payload, task), tasks))
+
+    def release(self, key: str) -> None:
+        self._resident.pop(key, None)
+
     def close(self) -> None:
         self._closed = True
+        self._resident.clear()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
 
 
+# ------------------------------------------------------------ process lanes
+#
+# Worker-side registry for ProcessExecutor broadcast state.  Each worker
+# process holds {spill_path: payload}; keying by the spill file's path (not
+# the logical key) makes re-broadcasts self-invalidating — a new payload
+# gets a new path, so stale worker copies are simply never addressed again
+# (the LRU drops them) and every copy dies with the worker on close().
+
+_WORKER_PAYLOADS: Dict[str, object] = {}
+
+#: resident payloads a worker keeps unpickled at once; older entries are
+#: dropped (and reload from their spill file if ever addressed again), so
+#: a long stream of per-batch broadcasts cannot grow worker memory without
+#: bound.
+_WORKER_PAYLOAD_CAP = 8
+
+
+def _install_worker_payloads(paths: Tuple[str, ...]) -> None:
+    """Pool initializer: install every already-broadcast payload.
+
+    Runs once per worker process at start-up (spawn-safe — the paths
+    arrive through ``initargs``, nothing relies on fork inheritance), so
+    in the common flow — broadcast the plan, then sweep — workers begin
+    life with the resident state unpickled.  Payloads broadcast *after*
+    the pool is up load lazily on first ``map_on`` touch instead; a path
+    released between pool creation and worker start simply no longer
+    exists and is skipped (its tasks can never arrive).
+    """
+    _WORKER_PAYLOADS.clear()
+    for path in paths:
+        try:
+            with open(path, "rb") as handle:
+                _WORKER_PAYLOADS[path] = pickle.load(handle)
+        except OSError:
+            pass
+
+
+def _resident_call(path: str, key: str, func: Callable[[Any, T], R], task: T) -> R:
+    """Run one ``map_on`` task against the worker-resident payload."""
+    payload = _WORKER_PAYLOADS.pop(path, None)
+    if payload is None:
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"broadcast state for key {key!r} is gone ({exc}); it was "
+                "evicted — re-broadcast before calling map_on"
+            ) from exc
+    # Re-insert at the back: the registry doubles as an LRU over payloads.
+    _WORKER_PAYLOADS[path] = payload
+    while len(_WORKER_PAYLOADS) > _WORKER_PAYLOAD_CAP:
+        _WORKER_PAYLOADS.pop(next(iter(_WORKER_PAYLOADS)))
+    return func(payload, task)
+
+
 class ProcessExecutor(Executor):
     """Process-pool backend used for the scalability experiments.
 
-    Task payloads are pickled to the worker processes on every call, so
-    this backend only pays off when each task carries substantial compute
-    relative to its data — exactly the regime of paper Fig 7.
+    ``map_tasks`` payloads are pickled to the worker processes on every
+    call, so that path only pays off when each task carries substantial
+    compute relative to its data — exactly the regime of paper Fig 7.
+    ``broadcast`` / ``map_on`` break that trade-off for large *reused*
+    payloads: a broadcast pickles its payload once into a per-executor
+    scratch file, the pool initializer installs the path registry into
+    each worker at start-up (spawn-safe), and workers unpickle a payload
+    the first time one of its tasks lands on them.  Re-broadcasting after
+    the pool is up never recycles workers — the fresh path travels with
+    the next ``map_on`` call — and :meth:`close` removes the scratch
+    directory and shuts the workers down, releasing every resident copy.
     """
+
+    kind = "process"
 
     def __init__(self, degree: int | None = None) -> None:
         if degree is not None and degree <= 0:
             raise ValidationError("degree must be positive")
         self.degree = int(degree or os.cpu_count() or 1)
         self._pool: ProcessPoolExecutor | None = None
+        self._resident_paths: Dict[str, str] = {}
+        self._scratch_dir: str | None = None
+        self._spill_count = 0
         self._closed = False
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         # Lazy: forking worker processes is expensive and constructing an
         # executor must never leak them if it goes unused.
-        if self._closed:
-            raise RuntimeError("executor has been closed")
+        self._check_open()
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.degree)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.degree,
+                initializer=_install_worker_payloads,
+                initargs=(tuple(self._resident_paths.values()),),
+            )
         return self._pool
 
     def map_chunks(self, func: Callable[[Sequence[int]], R], n: int) -> List[R]:
@@ -156,8 +350,50 @@ class ProcessExecutor(Executor):
     def map_tasks(self, func: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
         return list(self._ensure_pool().map(func, tasks))
 
+    def broadcast(self, key: str, payload: object) -> None:
+        self._check_open()
+        if self._scratch_dir is None:
+            self._scratch_dir = tempfile.mkdtemp(prefix="repro-broadcast-")
+            # Abandoned executors (never closed, or interrupted mid-fit)
+            # must not leak spilled payloads: the finalizer removes the
+            # scratch directory when the executor is collected; close()
+            # runs it eagerly.
+            self._scratch_finalizer = weakref.finalize(
+                self, shutil.rmtree, self._scratch_dir, ignore_errors=True
+            )
+        # A fresh path per broadcast: worker caches key on the path, so a
+        # re-broadcast invalidates stale copies without touching the pool.
+        self._spill_count += 1
+        path = os.path.join(self._scratch_dir, f"b{self._spill_count}.pkl")
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        stale = self._resident_paths.get(key)
+        self._resident_paths[key] = path
+        if stale is not None and os.path.exists(stale):
+            os.unlink(stale)
+
+    def map_on(
+        self, key: str, func: Callable[[Any, T], R], tasks: Sequence[T]
+    ) -> List[R]:
+        self._check_open()
+        path = self._resident_paths.get(key)
+        if path is None:
+            # validate before _ensure_pool: a bad key must not spawn workers
+            raise self._missing_key(key)
+        call = functools.partial(_resident_call, path, key, func)
+        return list(self._ensure_pool().map(call, tasks))
+
+    def release(self, key: str) -> None:
+        path = self._resident_paths.pop(key, None)
+        if path is not None and os.path.exists(path):
+            os.unlink(path)
+
     def close(self) -> None:
         self._closed = True
+        self._resident_paths.clear()
+        if self._scratch_dir is not None:
+            self._scratch_finalizer()  # rmtree now; finalizer runs once
+            self._scratch_dir = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

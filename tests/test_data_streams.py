@@ -85,6 +85,22 @@ class TestPartitionExactness:
         with pytest.raises(ValidationError):
             list(stream.by_fractions([0.5, 1.2]))
 
+    def test_by_fractions_never_emits_empty_batches(self, tiny_dataset):
+        """Regression: adjacent fractions can round to the same cut on
+        small matrices; collapsed windows must merge away, not surface as
+        empty batches (which would burn SVI learning-rate steps)."""
+        matrix = tiny_dataset.answers
+        n = matrix.n_answers
+        # fractions closer together than one answer => guaranteed collapse
+        fractions = [0.5 / n, 0.7 / n, 0.25, 0.25 + 0.1 / n, 0.9, 1.0]
+        batches = list(AnswerStream(matrix, seed=13).by_fractions(fractions))
+        assert all(batch.n_answers > 0 for batch in batches)
+        assert len(batches) < len(fractions)  # something actually collapsed
+        # still an exact partition, with consecutive indices
+        pairs = _batch_pairs(batches)
+        assert sorted(pairs) == _all_pairs(matrix)
+        assert [batch.index for batch in batches] == list(range(len(batches)))
+
     def test_policies_reject_nonpositive_sizes(self, tiny_dataset):
         stream = AnswerStream(tiny_dataset.answers, seed=0)
         with pytest.raises(ValidationError):
@@ -124,6 +140,25 @@ class TestSplitBatch:
         with pytest.raises(ValidationError):
             split_batch(batch, max_answers=0)
 
+    def test_sub_batch_identities_do_not_collide_across_stream(self, tiny_dataset):
+        """Regression: the old ``parent.index + offset`` numbering made
+        parent 3's pieces clash with batches 4, 5, 6 of the same stream;
+        ``(index, sub_index)`` identities must be unique stream-wide."""
+        batches = list(AnswerStream(tiny_dataset.answers, seed=4).by_answers(90))
+        assert len(batches) >= 3
+        subs = [sub for batch in batches for sub in split_batch(batch, 25)]
+        ids = [sub.batch_id for sub in subs]
+        assert len(ids) == len(set(ids))
+        # sub-batches keep their parent's stream index and number their
+        # own pieces from zero
+        for batch in batches:
+            pieces = split_batch(batch, 25)
+            assert all(sub.index == batch.index for sub in pieces)
+            assert [sub.sub_index for sub in pieces] == list(range(len(pieces)))
+        # unsplit passthrough keeps identity (0 sub_index)
+        small = split_batch(batches[0], 10_000)
+        assert small[0].batch_id == (batches[0].index, 0)
+
 
 class TestStreamingShardedSVI:
     """The Table-5 online protocol must be backend-independent."""
@@ -159,3 +194,32 @@ class TestStreamingShardedSVI:
         assert sharded_model.predict() == fused_model.predict()
         assert sharded_eval.precision == pytest.approx(fused_eval.precision, abs=1e-12)
         assert sharded_eval.recall == pytest.approx(fused_eval.recall, abs=1e-12)
+
+    def test_split_sub_batches_feed_the_full_sharded_protocol(self):
+        """Regression companion to the split_batch identity fix: a full
+        table5-style run whose arrival increments are split internally
+        must feed every sub-batch exactly once to the sharded engine."""
+        dataset = generate_dataset(tiny_config(name="t5split"), seed=33)
+        config = CPAConfig(
+            seed=0,
+            max_truncation=10,
+            backend="sharded",
+            n_shards=2,
+            svi_batch_answers=40,
+        )
+        stream = AnswerStream(dataset.answers, seed=17)
+        batches = list(stream.by_fractions([i / 5 for i in range(1, 6)]))
+        subs = [sub for batch in batches for sub in split_batch(batch, 40)]
+        assert len({sub.batch_id for sub in subs}) == len(subs)
+        assert all(sub.n_answers > 0 for sub in subs)
+        model = CPAModel(config).fit_online(
+            batches,
+            dataset.n_items,
+            dataset.n_workers,
+            dataset.n_labels,
+            seed=0,
+        )
+        # the engine saw exactly one SVI step per sub-batch — nothing was
+        # dropped or double-fed by the identity scheme
+        assert model._engine.state.batches_seen == len(subs)
+        assert model.predict()  # and the fitted model is usable end-to-end

@@ -102,6 +102,20 @@ class TestSmallRuns:
         )
         self._check(report, "fig6")
 
+    def test_fig6_survives_collapsed_arrival_windows(self):
+        """Regression: fractions closer together than one answer collapse
+        in the stream; fig6 must still report one point per fraction
+        (repeating the previous point) instead of crashing on a
+        shorter-than-fractions curve."""
+        report = run_experiment(
+            "fig6", seeds=(0,), scale=0.25, fractions=(0.5, 0.500001, 1.0)
+        )
+        curves = report.data["curves"]
+        assert all(len(curve) == 3 for curve in curves.values())
+        # the collapsed middle window repeats the 50% point
+        assert curves["online_precision"][1] == curves["online_precision"][0]
+        assert curves["offline_recall"][1] == curves["offline_recall"][0]
+
     def test_fig7(self):
         report = run_experiment(
             "fig7",
@@ -216,6 +230,18 @@ class TestCli:
             ["run", "fig7", "--shards", "4", "--kernel-backend", "fused"]
         )
         assert _experiment_kwargs(args)["kernel_backend"] == "fused"
+
+    def test_auto_kernel_backend_parses(self):
+        from repro.cli import _experiment_kwargs, build_parser
+
+        args = build_parser().parse_args(["run", "fig7", "--kernel-backend", "auto"])
+        assert _experiment_kwargs(args)["kernel_backend"] == "auto"
+        # --shards pins K but must not override an explicit auto choice
+        args = build_parser().parse_args(
+            ["run", "fig7", "--kernel-backend", "auto", "--shards", "4"]
+        )
+        kwargs = _experiment_kwargs(args)
+        assert kwargs["kernel_backend"] == "auto" and kwargs["n_shards"] == 4
 
     def test_bad_kernel_backend_rejected(self):
         with pytest.raises(SystemExit):

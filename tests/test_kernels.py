@@ -365,10 +365,12 @@ class TestLazyExecutors:
         ex.close()  # idempotent
 
     def test_use_after_close_raises_instead_of_leaking(self):
+        from repro.errors import ConfigurationError
+
         ex = ThreadExecutor(2)
         ex.map_tasks(lambda v: v, [1])
         ex.close()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ConfigurationError, match="thread executor"):
             ex.map_tasks(lambda v: v, [1])
         assert ex._pool is None  # no pool was resurrected
 
@@ -379,5 +381,7 @@ class TestLazyExecutors:
         assert ex._pool is None
         ex.close()  # closing an unused executor is a no-op
         assert ex._pool is None
-        with pytest.raises(RuntimeError):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="process executor"):
             ex.map_tasks(lambda v: v, [1])

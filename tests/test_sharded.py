@@ -486,11 +486,13 @@ class TestShardTransport:
 
     def test_process_pool_not_resurrected_after_close(self):
         """Regression for lazy-pool reuse: close() is terminal, not a reset."""
+        from repro.errors import ConfigurationError
+
         ex = ProcessExecutor(2)
         assert ex.map_tasks(_double, [1, 2]) == [2, 4]
         ex.close()
         assert ex._pool is None
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ConfigurationError, match="process executor"):
             ex.map_tasks(_double, [1])
         assert ex._pool is None  # the failed call must not recreate the pool
         # a fresh executor is the supported way to continue

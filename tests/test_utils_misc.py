@@ -156,6 +156,74 @@ class TestExecutors:
         with pytest.raises(ValidationError):
             ThreadExecutor(0)
 
+    def test_map_chunks_over_empty_range_returns_no_pieces(self):
+        """split_chunks(0, p) == [] propagates: callers folding map_chunks
+        results must treat "no pieces" as their reduction's identity."""
+        for factory in (SerialExecutor, lambda: ThreadExecutor(2)):
+            with factory() as ex:
+                assert ex.map_chunks(_square_chunk, 0) == []
+
+
+def _payload_plus(payload, task):
+    return payload + task
+
+
+class TestStatefulLanes:
+    """broadcast/map_on: the lane-resident state contract of DESIGN.md §6."""
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_broadcast_then_map_on(self, kind):
+        with make_executor(kind, 2) as ex:
+            ex.broadcast("base", 10)
+            assert ex.map_on("base", _payload_plus, [1, 2, 3]) == [11, 12, 13]
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_rebroadcast_replaces_payload(self, kind):
+        with make_executor(kind, 2) as ex:
+            ex.broadcast("base", 10)
+            assert ex.map_on("base", _payload_plus, [0]) == [10]
+            pool_before = ex._pool if kind != "serial" else None
+            ex.broadcast("base", 100)
+            assert ex.map_on("base", _payload_plus, [0]) == [100]
+            if kind != "serial":
+                # re-broadcasting must not recycle the worker pool
+                assert ex._pool is pool_before
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_map_on_unknown_key_raises_loudly(self, kind):
+        with make_executor(kind, 2) as ex:
+            with pytest.raises(ConfigurationError, match="no broadcast state"):
+                ex.map_on("never-sent", _payload_plus, [1])
+            if kind != "serial":
+                # the error path must not have spawned a pool
+                assert ex._pool is None
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_release_then_map_on_raises(self, kind):
+        with make_executor(kind, 2) as ex:
+            ex.broadcast("base", 1)
+            ex.release("base")
+            ex.release("base")  # idempotent
+            with pytest.raises(ConfigurationError):
+                ex.map_on("base", _payload_plus, [1])
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_closed_executor_refuses_broadcast_and_map_on(self, kind):
+        ex = make_executor(kind, 2)
+        ex.broadcast("base", 1)
+        ex.close()
+        with pytest.raises(ConfigurationError, match=f"{kind} executor"):
+            ex.broadcast("other", 2)
+        with pytest.raises(ConfigurationError, match=f"{kind} executor"):
+            ex.map_on("base", _payload_plus, [1])
+
+    def test_map_on_preserves_task_order(self):
+        """The fixed-order merge contract of the sharded backend."""
+        tasks = list(range(64))
+        with ThreadExecutor(4) as ex:
+            ex.broadcast("base", 0)
+            assert ex.map_on("base", _payload_plus, tasks) == tasks
+
 
 class TestTables:
     def test_basic_layout(self):
