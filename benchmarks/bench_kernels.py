@@ -17,7 +17,13 @@ Measures, at several answer volumes, the wall-clock cost of
   lane-resident transport (shard kernels broadcast once per plan,
   per-sweep tasks carry only posteriors) vs the ship-per-task transport,
   plus the one-off broadcast size.  Byte counts are deterministic, so
-  the recorded ratio is a noise-free record of the transport win.
+  the recorded ratio is a noise-free record of the transport win.  The
+  same function also measures the **remote** path (DESIGN.md §6 "Remote
+  lanes"): two real loopback worker daemons behind a
+  :class:`~repro.utils.parallel.RemoteExecutor`, recording the exact
+  frame bytes one sweep puts on the wire (requests out, results back)
+  and the one-off broadcast — the multi-node cost model next to the
+  in-process one it extends.
 
 The synthetic workload mirrors the paper's partial-agreement structure:
 label sets are drawn from a bounded pattern pool with a Zipf-like
@@ -136,10 +142,56 @@ class _ByteCountingExecutor(Executor):
         self._resident.pop(key, None)
 
 
+#: loopback worker daemons behind the measured remote executor.
+REMOTE_WORKERS = 2
+
+
+def _measure_remote_transport(matrix, config: CPAConfig) -> Dict[str, object]:
+    """Exact frame bytes one sweep ships over loopback TCP worker daemons.
+
+    Spawns ``REMOTE_WORKERS`` real in-process daemons
+    (:class:`~repro.utils.transport.WorkerServer`) and runs one batch-VI
+    sweep through a :class:`~repro.utils.parallel.RemoteExecutor` — the
+    same lane-resident transport, now with length-prefixed pickle frames
+    on a real socket.  Counters are taken from the channel layer, so the
+    numbers include framing overhead and the per-lane broadcast fan-out
+    (each daemon receives its own copy of the plan); results are
+    bitwise-identical to the serial path (``tests/test_chaos.py``), so
+    the byte counts are deterministic.
+    """
+    from repro.utils.parallel import RemoteExecutor
+    from repro.utils.transport import WorkerServer
+
+    servers = [WorkerServer().serve_in_thread() for _ in range(REMOTE_WORKERS)]
+    try:
+        executor = RemoteExecutor([server.address for server in servers])
+        try:
+            engine = VariationalInference(config, matrix, executor=executor)
+            sent_after_init = executor.sent_bytes
+            received_after_init = executor.received_bytes
+            engine.sweep()
+            return {
+                "remote_broadcast_pickled_bytes": int(
+                    executor.broadcast_sent_bytes
+                ),
+                "remote_resident_sweep_pickled_bytes": int(
+                    executor.sent_bytes - sent_after_init
+                ),
+                "remote_sweep_results_pickled_bytes": int(
+                    executor.received_bytes - received_after_init
+                ),
+            }
+        finally:
+            executor.close()
+    finally:
+        for server in servers:
+            server.close()
+
+
 def measure_sweep_transport(
     n_answers: int, *, dtype: str = "float64", seed: int = 0
 ) -> Dict[str, object]:
-    """Pickled bytes one batch-VI sweep ships to a process pool, per transport.
+    """Pickled bytes one batch-VI sweep ships to its lanes, per transport.
 
     Uses the Fig-7 runtime configuration (truncations 12/8 — the
     process-pool scalability workload) with the ``SHARDED_K``-shard
@@ -149,6 +201,13 @@ def measure_sweep_transport(
     once per plan and ships only shard indices plus updated posterior
     rows per sweep.  Both transports produce bitwise-identical results
     (``tests/test_resident.py``), so the ratio is pure transport saving.
+
+    The remote keys measure the same resident sweep over loopback TCP
+    against ``REMOTE_WORKERS`` real worker daemons;
+    ``remote_transport_bytes_ratio`` (remote frame bytes / local resident
+    task bytes) records the wire overhead of going multi-node — the
+    request framing plus the per-sweep ``E[ln ψ]``/posterior rows that
+    every lane receives.
     """
     matrix = build_matrix(n_answers, seed=seed)
     config = CPAConfig(
@@ -177,6 +236,10 @@ def measure_sweep_transport(
             record["sharded_broadcast_pickled_bytes"] = int(counter.broadcast_bytes)
     record["sharded_transport_bytes_ratio"] = float(
         record["sharded_reship_sweep_pickled_bytes"]
+    ) / float(record["sharded_resident_sweep_pickled_bytes"])
+    record.update(_measure_remote_transport(matrix, config))
+    record["remote_transport_bytes_ratio"] = float(
+        record["remote_resident_sweep_pickled_bytes"]
     ) / float(record["sharded_resident_sweep_pickled_bytes"])
     return record
 

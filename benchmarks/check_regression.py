@@ -31,9 +31,10 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 UNTRACKED_PREFIXES = ("reference_", "svi_reference_")
 
 #: deterministic transport metrics (pickled bytes of the sharded
-#: lane-resident vs ship-per-task paths) carried into the trajectory as
-#: per-case context; they are not wall-clock timings, so the timing gate
-#: never fires on them.
+#: lane-resident vs ship-per-task paths, and frame bytes of the remote
+#: TCP transport over loopback worker daemons) carried into the
+#: trajectory as per-case context; they are not wall-clock timings, so
+#: the timing gate never fires on them.
 CONTEXT_SUFFIXES = ("_pickled_bytes", "_bytes_ratio")
 
 #: absolute slowdown (seconds) a regression must also exceed — scheduler

@@ -5,7 +5,7 @@ Commands
 ``repro list``
     Show all registered experiments with their paper artefacts.
 ``repro run <id> [--seeds 0,1,2] [--scale 0.5] [--out FILE]
-            [--executor thread] [--degree 4]
+            [--executor thread] [--degree 4] [--workers host:port,...]
             [--kernel-backend {fused,sharded,auto}] [--shards 4]``
     Run one experiment (or ``all``) and print/save its report.  The
     executor flags select the parallel backend, and the kernel-backend
@@ -36,6 +36,21 @@ def _parse_seeds(text: str) -> List[int]:
         raise argparse.ArgumentTypeError(f"bad seed list {text!r}") from exc
 
 
+def _parse_workers(text: str) -> List[str]:
+    from repro.errors import ValidationError
+    from repro.utils.transport import parse_address
+
+    addresses = [part.strip() for part in text.split(",") if part.strip()]
+    if not addresses:
+        raise argparse.ArgumentTypeError("empty worker address list")
+    try:
+        for address in addresses:
+            parse_address(address)
+    except ValidationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return addresses
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -58,15 +73,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--out", type=Path, default=None, help="write report to file")
     run_parser.add_argument(
         "--executor",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "remote"),
         default=None,
-        help="parallel backend for experiments that accept one (e.g. fig7)",
+        help="parallel backend for experiments that accept one (e.g. fig7); "
+        "'remote' runs lanes on worker daemons named by --workers",
     )
     run_parser.add_argument(
         "--degree",
         type=int,
         default=None,
         help="parallelism degree for --executor (default: one lane per core)",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        help="comma-separated remote worker daemon addresses "
+        "(host:port,host:port,...) for --executor remote; start daemons "
+        "with `python -m repro.worker --listen host:port`",
     )
     run_parser.add_argument(
         "--kernel-backend",
@@ -122,6 +146,9 @@ def _experiment_kwargs(args: argparse.Namespace) -> dict:
         kwargs["backend"] = args.executor
     if getattr(args, "degree", None) is not None:
         kwargs["parallel_degrees"] = (args.degree,)
+    if getattr(args, "workers", None) is not None:
+        kwargs["workers"] = tuple(args.workers)
+        kwargs.setdefault("backend", "remote")
     if getattr(args, "kernel_backend", None) is not None:
         kwargs["kernel_backend"] = args.kernel_backend
     if getattr(args, "shards", None) is not None:
@@ -138,7 +165,17 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "workers", None) and getattr(args, "executor", None) not in (
+        None,
+        "remote",
+    ):
+        # statically contradictory: fail at parse time, not minutes into
+        # an experiment when the executor is finally constructed
+        parser.error(
+            f"--workers requires --executor remote (got --executor {args.executor})"
+        )
 
     if args.command == "list":
         for spec in list_experiments():

@@ -10,10 +10,12 @@ the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ValidationError
+from repro.utils.parallel import EXECUTOR_KINDS, Executor, make_executor
 
 
 @dataclass(frozen=True)
@@ -108,6 +110,23 @@ class CPAConfig:
         ``False`` restores the ship-per-task transport (the two paths
         are bitwise identical; the flag exists as an escape hatch and
         for the benchmarked comparison).
+    executor:
+        Executor kind the config describes: ``"serial"`` (default),
+        ``"thread"``, ``"process"``, or ``"remote"`` (lanes on
+        ``python -m repro.worker`` daemons named by ``workers``;
+        DESIGN.md §6 "Remote lanes").  Both engines build their executor
+        from this spec (:meth:`resolve_executor`) whenever no explicit
+        :class:`~repro.utils.parallel.Executor` object is passed, so a
+        run is reproducible from configuration alone; an engine-built
+        executor is exposed as ``engine.executor`` and never closed by
+        the engine (serial needs no closing; anything else belongs to
+        the caller).
+    executor_degree:
+        Parallel degree for the selected executor (0 = auto: one lane
+        per core for local pools, every listed worker for remote).
+    workers:
+        ``"host:port"`` addresses of remote worker daemons; required by
+        — and only meaningful for — ``executor="remote"``.
     seed:
         Seed for the random initialisation of the variational state.
     """
@@ -135,6 +154,9 @@ class CPAConfig:
     backend: str = "fused"
     n_shards: int = 0
     resident_shards: bool = True
+    executor: str = "serial"
+    executor_degree: int = 0
+    workers: Tuple[str, ...] = ()
     seed: int = 0
     max_truncation: int = 40
     init_noise: float = 0.5
@@ -176,10 +198,43 @@ class CPAConfig:
             )
         if self.n_shards < 0:
             raise ValidationError("n_shards must be non-negative (0 = auto)")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"executor must be one of {', '.join(EXECUTOR_KINDS)}, "
+                f"got {self.executor!r}"
+            )
+        if self.executor_degree < 0:
+            raise ValidationError("executor_degree must be non-negative (0 = auto)")
+        if self.executor == "remote" and not self.workers:
+            raise ConfigurationError(
+                "executor='remote' needs worker daemon addresses "
+                "(workers=('host:port', ...)); start daemons with "
+                "`python -m repro.worker --listen host:port`"
+            )
+        if self.workers and self.executor != "remote":
+            raise ConfigurationError(
+                "workers are only meaningful with executor='remote', "
+                f"got executor={self.executor!r}"
+            )
 
     def resolve_dtype(self) -> np.dtype:
         """The numpy dtype of the state arrays and likelihood kernels."""
         return np.dtype(self.dtype)
+
+    def resolve_executor(self) -> Executor:
+        """Build the executor this config describes (caller owns ``close()``).
+
+        ``executor="remote"`` connects lanes to the daemons listed in
+        ``workers`` (``executor_degree`` caps how many are used); local
+        kinds size their pools from ``executor_degree`` (0 = one lane
+        per core).  Validation already happened in ``__post_init__``, so
+        this cannot fail on configuration — only on the network.
+        """
+        return make_executor(
+            self.executor,
+            self.executor_degree or None,
+            workers=list(self.workers) if self.executor == "remote" else None,
+        )
 
     def resolve_shards(self, degree: int = 1) -> int:
         """Concrete shard count for the sharded backend.

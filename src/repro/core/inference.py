@@ -45,7 +45,7 @@ from repro.data.answers import AnswerMatrix
 from repro.data.dataset import GroundTruth
 from repro.errors import ConvergenceWarning, InferenceError
 from repro.utils.math import log_normalize_rows
-from repro.utils.parallel import Executor, SerialExecutor
+from repro.utils.parallel import Executor
 from repro.utils.random import Seed
 
 
@@ -100,7 +100,9 @@ class VariationalInference:
         Overrides ``config.seed`` for state initialisation.
     executor:
         Backend for the chunked local updates and statistics (Alg. 3's
-        MAP/REDUCE shape applied to the batch sweep); serial by default.
+        MAP/REDUCE shape applied to the batch sweep).  ``None`` defers to
+        ``config.resolve_executor()`` — serial unless the config selects
+        a pool or remote lanes (``CPAConfig.executor``).
     """
 
     def __init__(
@@ -133,7 +135,14 @@ class VariationalInference:
             )
         self.config = config
         self.answers = answers
-        self.executor = executor or SerialExecutor()
+        # An explicit executor object wins; otherwise honour the config's
+        # declarative selection (serial by default, so the historical
+        # behaviour is unchanged; DESIGN.md §6 "Remote lanes").  The
+        # engine never closes what it builds here — `self.executor` is
+        # public and pooled kinds stay usable across successive fits.
+        self.executor = (
+            executor if executor is not None else config.resolve_executor()
+        )
         self.items, self.workers, self.indicators = answers.to_arrays()
         self.n_items = answers.n_items
         self.n_workers = answers.n_workers

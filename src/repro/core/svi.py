@@ -49,7 +49,7 @@ from repro.data.dataset import GroundTruth
 from repro.data.streams import AnswerBatch
 from repro.errors import ValidationError
 from repro.utils.math import log_normalize_rows
-from repro.utils.parallel import Executor, SerialExecutor, split_chunks
+from repro.utils.parallel import Executor, split_chunks
 from repro.utils.random import Seed
 
 
@@ -212,7 +212,9 @@ class StochasticInference:
     truth:
         Optional observed true labels for items that appear in batches.
     executor:
-        Backend for the MAP phase; serial by default.
+        Backend for the MAP phase.  ``None`` defers to
+        ``config.resolve_executor()`` — serial unless the config selects
+        a pool or remote lanes (``CPAConfig.executor``).
     total_answers_hint:
         Expected total number of answers of the full stream.  The paper's
         ``U / U_b`` gradient scaling assumes each batch carries *whole
@@ -239,7 +241,11 @@ class StochasticInference:
         self.n_items = n_items
         self.n_workers = n_workers
         self.n_labels = n_labels
-        self.executor = executor or SerialExecutor()
+        # explicit executor wins; else the config's declarative selection
+        # (serial by default — see VariationalInference.__init__)
+        self.executor = (
+            executor if executor is not None else config.resolve_executor()
+        )
         self.state = initialize_state(config, n_items, n_workers, n_labels, seed=seed)
         self.state.sync_mu_from_phi()
         self._seed = seed

@@ -30,6 +30,29 @@ class ConfigurationError(ValidationError):
     """
 
 
+class TransportError(ReproError, ConnectionError):
+    """A remote lane's network channel failed (closed, truncated, refused).
+
+    Subclass of :class:`ConnectionError` so network-aware callers can treat
+    it like any other connection failure; raised by the length-prefixed
+    framing layer (:mod:`repro.utils.transport`) and by
+    :class:`~repro.utils.parallel.RemoteExecutor` when every lane is gone.
+    """
+
+
+class WorkerFailure(ReproError):
+    """A remote worker daemon reported an exception while running a task.
+
+    Carries the remote traceback text so the failure site on the worker is
+    visible from the client; distinct from :class:`TransportError` — the
+    channel is healthy, the *task* failed.
+    """
+
+    def __init__(self, message: str, remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
 class InferenceError(ReproError):
     """Model inference failed irrecoverably (e.g. non-finite parameters)."""
 

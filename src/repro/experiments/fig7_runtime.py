@@ -46,25 +46,33 @@ def _time_online(
     answers_per_batch: int,
     degree: int = 0,
     backend: str = "thread",
+    workers: Sequence[str] = (),
 ) -> float:
     batches = stream_from_matrix(
         dataset.answers, answers_per_batch=answers_per_batch, seed=11
     )
-    executor = make_executor(backend, degree) if degree else None
-    engine = StochasticInference(
-        config,
-        dataset.n_items,
-        dataset.n_workers,
-        dataset.n_labels,
-        executor=executor,
-        total_answers_hint=dataset.n_answers,
+    executor = (
+        make_executor(backend, degree, workers=list(workers) or None)
+        if degree
+        else None
     )
-    start = time.perf_counter()
-    engine.fit_stream(batches)
-    elapsed = time.perf_counter() - start
-    if executor is not None:
-        executor.close()
-    return elapsed
+    try:
+        engine = StochasticInference(
+            config,
+            dataset.n_items,
+            dataset.n_workers,
+            dataset.n_labels,
+            executor=executor,
+            total_answers_hint=dataset.n_answers,
+        )
+        start = time.perf_counter()
+        engine.fit_stream(batches)
+        return time.perf_counter() - start
+    finally:
+        # a failed stream (e.g. every remote lane lost) must still
+        # release the lanes' broadcast state and connections
+        if executor is not None:
+            executor.close()
 
 
 @register("fig7", "Runtime of inference and prediction mechanisms", "Figure 7")
@@ -79,6 +87,7 @@ def run(
     backend: str = "thread",
     kernel_backend: str = "fused",
     n_shards: int = 0,
+    workers: Sequence[str] = (),
 ) -> ExperimentReport:
     """Sweep the answer volume and time every mechanism once per level.
 
@@ -86,7 +95,10 @@ def run(
     (``fused``, ``sharded``, or ``auto`` — the latter picks per
     matrix/batch from answer volume and executor degree; DESIGN.md §6)
     for the offline and online engines, exposed on the CLI as
-    ``--kernel-backend`` / ``--shards``.
+    ``--kernel-backend`` / ``--shards``.  ``backend="remote"`` with
+    ``workers=("host:port", ...)`` runs the parallel-online rows on
+    remote worker daemons (CLI: ``--executor remote --workers ...``) —
+    the multi-node path of DESIGN.md §6 "Remote lanes".
     """
     config = CPAConfig(
         seed=seed,
@@ -137,6 +149,7 @@ def run(
                     answers_per_batch=answers_per_batch,
                     degree=degree,
                     backend=backend,
+                    workers=workers,
                 )
             )
 

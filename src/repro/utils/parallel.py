@@ -28,6 +28,16 @@ after the pool is up therefore never recycles worker processes: the new
 payload's path rides along with the next ``map_on`` call.  All broadcast
 state — registry, scratch files, and the worker processes holding
 unpickled copies — is released by :meth:`Executor.close`.
+
+Remote lanes (DESIGN.md §6 "Remote lanes"): :class:`RemoteExecutor`
+implements the same contract over TCP against ``python -m repro.worker``
+daemons — ``broadcast`` ships a payload once per plan to every lane,
+``map_on`` ships only the small per-sweep tasks, ``map_tasks``
+round-robins stateless tasks — with per-lane retry/exclusion on
+connection loss: a lost lane's pending tasks are reassigned to the
+survivors, payloads are re-broadcast to lanes that lost them
+(reconnects, LRU eviction on the daemon, replacement workers), and only
+when *every* lane is gone does a call fail.
 """
 
 from __future__ import annotations
@@ -39,12 +49,13 @@ import shutil
 import tempfile
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.errors import ConfigurationError, ValidationError
+from repro.errors import ConfigurationError, TransportError, ValidationError
+from repro.utils import transport as _transport
 
 #: executor kinds :func:`make_executor` understands.
-EXECUTOR_KINDS = ("serial", "thread", "process")
+EXECUTOR_KINDS = ("serial", "thread", "process", "remote")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -399,19 +410,438 @@ class ProcessExecutor(Executor):
             self._pool = None
 
 
-def make_executor(kind: str = "serial", degree: int | None = None) -> Executor:
+# -------------------------------------------------------------- remote lanes
+
+
+class _Lane:
+    """Client-side record of one remote worker daemon.
+
+    ``resident_keys`` tracks which broadcast keys the *daemon* is
+    believed to hold; the belief is optimistic — a daemon that lost a
+    payload (LRU eviction, restart) replies ``stale`` and the client
+    re-broadcasts — so reconnecting never has to guess daemon state.
+    """
+
+    __slots__ = (
+        "index",
+        "host",
+        "port",
+        "address",
+        "channel",
+        "resident_keys",
+        "dead",
+        "reconnects_left",
+    )
+
+    def __init__(self, index: int, address: str, reconnects: int) -> None:
+        self.index = index
+        self.host, self.port = _transport.parse_address(address)
+        self.address = _transport.format_address(self.host, self.port)
+        self.channel: Optional[_transport.Channel] = None
+        self.resident_keys: set = set()
+        self.dead = False
+        self.reconnects_left = int(reconnects)
+
+
+class RemoteExecutor(Executor):
+    """Lane contract over TCP against ``python -m repro.worker`` daemons.
+
+    One persistent framed channel per worker (lazy connect, like the
+    local pools).  Transport policy, per call:
+
+    * **broadcast** pickles the payload once, retains the bytes
+      client-side, and ships them to every live lane — once per plan, the
+      same shape as the process pool's spill-file registry.  The retained
+      copy is what makes recovery possible: any lane that later proves to
+      be missing the key (reconnect after a drop, daemon-side LRU
+      eviction, a replacement worker attached via :meth:`add_worker`)
+      gets the bytes re-sent before its next ``map_on`` tasks.
+    * **map_on / map_tasks** round-robin the task list over the live
+      lanes, pipelined (all sends, then all receives), and reassemble
+      results by task index — so results are in task order regardless of
+      which lane computed what, preserving the fixed-order merge
+      contract of the sharded backend bitwise.
+    * **failure handling** — a lane whose channel fails (connection
+      refused, reset, truncated frame) is reconnected up to
+      ``reconnects`` times and then excluded; its pending tasks rejoin
+      the pool and land on the survivors in the next round.  Only when
+      every lane is excluded does the call raise
+      :class:`~repro.errors.TransportError`.  Worker-side *task*
+      exceptions are re-raised as-is — a bug in the task is the caller's
+      problem, not a lane failure, and must not trigger retries.
+
+    The executor never owns daemon lifetime: :meth:`close` releases the
+    broadcast state it installed and drops its connections, leaving the
+    daemons up for the next client.
+    """
+
+    kind = "remote"
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        *,
+        connect_timeout: float = 5.0,
+        reconnects: int = 1,
+        channel_factory: Optional[Callable[[int, str, int], object]] = None,
+    ) -> None:
+        if not workers:
+            raise ConfigurationError(
+                "remote executor needs at least one worker address "
+                "('host:port'); start daemons with "
+                "`python -m repro.worker --listen host:port`"
+            )
+        self._reconnects = int(reconnects)
+        self._connect_timeout = float(connect_timeout)
+        self._channel_factory = channel_factory
+        self._lanes = [
+            _Lane(index, address, self._reconnects)
+            for index, address in enumerate(workers)
+        ]
+        self._payloads: Dict[str, bytes] = {}
+        self._closed = False
+        #: exact frame bytes spent on broadcast requests (including
+        #: re-broadcasts after failures) — deterministic, benchmarked.
+        self.broadcast_sent_bytes = 0
+        self._retired_sent = 0
+        self._retired_received = 0
+
+    # ----------------------------------------------------------- telemetry
+
+    @property
+    def degree(self) -> int:  # type: ignore[override]
+        """Live lanes.  Excluded lanes stop counting, so shard-count and
+        chunk-split decisions taken after a failure see the real capacity
+        (``CPAConfig.resolve_backend`` sizes K from this)."""
+        return sum(1 for lane in self._lanes if not lane.dead)
+
+    @property
+    def sent_bytes(self) -> int:
+        """Total frame bytes sent over every channel this executor opened."""
+        return self._retired_sent + sum(
+            lane.channel.sent_bytes
+            for lane in self._lanes
+            if lane.channel is not None
+        )
+
+    @property
+    def received_bytes(self) -> int:
+        return self._retired_received + sum(
+            lane.channel.received_bytes
+            for lane in self._lanes
+            if lane.channel is not None
+        )
+
+    def live_workers(self) -> List[str]:
+        """Addresses of the lanes not (yet) excluded."""
+        return [lane.address for lane in self._lanes if not lane.dead]
+
+    # ------------------------------------------------------ lane lifecycle
+
+    def add_worker(self, address: str) -> None:
+        """Attach a replacement/extra worker daemon as a new lane.
+
+        The new lane holds no broadcast state; every key it needs is
+        re-broadcast from the client's retained copy the first time a
+        ``map_on`` task lands on it.
+        """
+        self._check_open()
+        self._lanes.append(_Lane(len(self._lanes), address, self._reconnects))
+
+    def _live_lanes(self) -> List[_Lane]:
+        lanes = [lane for lane in self._lanes if not lane.dead]
+        if not lanes:
+            raise TransportError(
+                "all remote workers are gone (every lane was excluded after "
+                "its reconnect budget); attach replacements with add_worker() "
+                "or restart the daemons and build a fresh executor"
+            )
+        return lanes
+
+    def _connect_lane(self, lane: _Lane) -> None:
+        if lane.channel is not None:
+            return
+        if self._channel_factory is not None:
+            lane.channel = self._channel_factory(lane.index, lane.host, lane.port)
+        else:
+            lane.channel = _transport.connect(
+                lane.host, lane.port, timeout=self._connect_timeout
+            )
+
+    def _drop_channel(self, lane: _Lane) -> None:
+        if lane.channel is not None:
+            self._retired_sent += lane.channel.sent_bytes
+            self._retired_received += lane.channel.received_bytes
+            lane.channel.close()
+            lane.channel = None
+
+    def _fail_lane(self, lane: _Lane) -> None:
+        """Channel failure: reconnect within budget, else exclude the lane.
+
+        ``resident_keys`` is kept across reconnects — if the daemon
+        actually lost state (it died and something respawned it on the
+        same address), its ``stale`` replies trigger re-broadcast anyway.
+        """
+        self._drop_channel(lane)
+        while lane.reconnects_left > 0:
+            lane.reconnects_left -= 1
+            try:
+                self._connect_lane(lane)
+                return
+            except TransportError:
+                self._drop_channel(lane)
+        lane.dead = True
+
+    # ------------------------------------------------------------ dispatch
+
+    def _ensure_resident(self, lane: _Lane, key: str) -> None:
+        """Connect the lane and (re-)broadcast ``key`` if it lacks it."""
+        self._connect_lane(lane)
+        if key is None or key in lane.resident_keys:
+            return
+        blob = self._payloads[key]
+        before = lane.channel.sent_bytes
+        try:
+            _transport.request(lane.channel, ("broadcast", key, blob))
+        finally:
+            self.broadcast_sent_bytes += lane.channel.sent_bytes - before
+        lane.resident_keys.add(key)
+
+    def _dispatch(
+        self,
+        make_message: Callable[[List], tuple],
+        tasks: Sequence,
+        key: Optional[str] = None,
+    ) -> List:
+        """Scatter ``tasks`` over live lanes, gather results in task order.
+
+        Rounds repeat until every task has a result; each round excludes
+        (or reconnects) the lanes that failed, so the loop terminates —
+        lane reconnect budgets are finite and the stale-broadcast budget
+        bounds daemon-side eviction churn.
+        """
+        results: List = [None] * len(tasks)
+        done = [False] * len(tasks)
+        pending = list(range(len(tasks)))
+        stale_budget = 4 + 2 * len(self._lanes)
+        while pending:
+            lanes = self._live_lanes()
+            sent: List[Tuple[_Lane, List[int]]] = []
+            send_error: Optional[BaseException] = None
+            for offset, lane in enumerate(lanes):
+                indices = pending[offset :: len(lanes)]
+                if not indices:
+                    continue
+                try:
+                    self._ensure_resident(lane, key)
+                    lane.channel.send(make_message([tasks[i] for i in indices]))
+                except TransportError:
+                    self._fail_lane(lane)
+                    continue
+                except Exception as exc:  # noqa: BLE001 - worker err reply
+                    # An in-dispatch re-broadcast can come back ("err", ...)
+                    # (the daemon failed to unpickle the payload).  Stop
+                    # sending, but the raise must wait until every
+                    # already-sent lane has been drained below — an early
+                    # raise would leave replies in their sockets and
+                    # desync those channels.
+                    send_error = exc
+                    break
+                sent.append((lane, indices))
+            # Any error discovered while reading replies is raised only
+            # *after* every sent lane has been drained: an early raise
+            # would leave the other lanes' replies sitting in their
+            # sockets, desyncing those channels (the next request would
+            # read this call's leftover reply as its own).
+            deferred_error: Optional[BaseException] = None
+            for lane, indices in sent:
+                try:
+                    reply = lane.channel.recv()
+                except TransportError:
+                    self._fail_lane(lane)
+                    continue
+                try:
+                    values = _transport.unwrap_reply(reply)
+                except _transport.StaleBroadcast:
+                    # The daemon evicted (or never had) the payload: the
+                    # next round re-broadcasts from the retained copy.
+                    lane.resident_keys.discard(key)
+                    stale_budget -= 1
+                    if stale_budget < 0 and deferred_error is None:
+                        deferred_error = TransportError(
+                            f"broadcast key {key!r} keeps getting evicted by "
+                            "the worker daemons; raise their --payload-cap"
+                        )
+                    continue
+                except TransportError:
+                    # malformed envelope: the lane is broken/version-skewed,
+                    # same treatment as a short reply below
+                    self._fail_lane(lane)
+                    continue
+                except Exception as exc:  # noqa: BLE001 - worker task error
+                    # A *task* exception is the caller's bug, not a lane
+                    # failure; no retry.
+                    if deferred_error is None:
+                        deferred_error = exc
+                    continue
+                if not isinstance(values, list) or len(values) != len(indices):
+                    # Reply-shape protocol violation (version-skewed or
+                    # buggy daemon): a silent zip-truncation would strand
+                    # the surplus tasks in an endless re-dispatch loop, so
+                    # distrust the lane instead — its tasks stay pending
+                    # and land elsewhere (or the call fails loudly when
+                    # no lane survives).
+                    self._fail_lane(lane)
+                    continue
+                for index, value in zip(indices, values):
+                    results[index] = value
+                    done[index] = True
+            if send_error is not None:
+                raise send_error
+            if deferred_error is not None:
+                raise deferred_error
+            pending = [index for index in pending if not done[index]]
+        return results
+
+    # ------------------------------------------------------- lane contract
+
+    def map_chunks(self, func: Callable[[Sequence[int]], R], n: int) -> List[R]:
+        self._check_open()
+        chunks = split_chunks(n, len(self._live_lanes()))
+        return self.map_tasks(func, chunks)
+
+    def map_tasks(self, func: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        self._check_open()
+        return self._dispatch(
+            lambda lane_tasks: ("map_tasks", func, lane_tasks), tasks
+        )
+
+    def broadcast(self, key: str, payload: object) -> None:
+        blob = _transport.dumps(payload)
+        self._check_open()
+        self._payloads[key] = blob
+        for lane in self._lanes:
+            # a re-broadcast replaces the payload everywhere: stale lane
+            # copies must never be addressed again
+            lane.resident_keys.discard(key)
+        # Pipelined like _dispatch: push the frame to every lane first so
+        # N transfers overlap on the wire, then collect the N acks — a
+        # shard plan is tens of MB, so sequential send+wait per lane
+        # would serialise the slowest part of the fan-out.
+        targets: List[_Lane] = []
+        for lane in self._live_lanes():
+            try:
+                self._connect_lane(lane)
+                before = lane.channel.sent_bytes
+                try:
+                    lane.channel.send(("broadcast", key, blob))
+                finally:
+                    self.broadcast_sent_bytes += lane.channel.sent_bytes - before
+            except TransportError:
+                self._fail_lane(lane)
+                continue
+            targets.append(lane)
+        deferred_error: Optional[BaseException] = None
+        for lane in targets:
+            try:
+                _transport.unwrap_reply(lane.channel.recv())
+            except TransportError:
+                self._fail_lane(lane)
+                continue
+            except Exception as exc:  # noqa: BLE001 - daemon failed to load
+                if deferred_error is None:
+                    deferred_error = exc
+                continue
+            lane.resident_keys.add(key)
+        if deferred_error is not None:
+            raise deferred_error
+        self._live_lanes()  # loud if the broadcast left no lane standing
+
+    def map_on(
+        self, key: str, func: Callable[[Any, T], R], tasks: Sequence[T]
+    ) -> List[R]:
+        self._check_open()
+        if key not in self._payloads:
+            raise self._missing_key(key)
+        return self._dispatch(
+            lambda lane_tasks: ("map_on", key, func, lane_tasks), tasks, key=key
+        )
+
+    def release(self, key: str) -> None:
+        """Best-effort: drop the retained copy and the daemons' copies.
+
+        Cleanup must never raise — a lane that fails here is simply left
+        for the regular retry path to deal with on next use.
+        """
+        if self._closed:
+            return
+        self._payloads.pop(key, None)
+        for lane in self._lanes:
+            if lane.dead or lane.channel is None:
+                lane.resident_keys.discard(key)
+                continue
+            if key in lane.resident_keys:
+                try:
+                    _transport.request(lane.channel, ("release", key))
+                except TransportError:
+                    self._drop_channel(lane)
+                lane.resident_keys.discard(key)
+
+    def close(self) -> None:
+        """Release installed broadcast state, drop connections; idempotent.
+
+        The worker daemons stay up — their lifetime belongs to whoever
+        launched them, not to this client.
+        """
+        if self._closed:
+            return
+        for key in list(self._payloads):
+            self.release(key)
+        self._closed = True
+        for lane in self._lanes:
+            self._drop_channel(lane)
+
+
+def make_executor(
+    kind: str = "serial",
+    degree: int | None = None,
+    workers: Sequence[str] | None = None,
+) -> Executor:
     """Factory: ``kind`` must be one of :data:`EXECUTOR_KINDS`.
 
     An unknown ``kind`` raises :class:`~repro.errors.ConfigurationError`
     naming the valid choices — misconfiguration must fail loudly at the
-    seam, not surface later as an attribute error on ``None``.
+    seam, not surface later as an attribute error on ``None``.  A
+    ``degree`` below 1 is rejected the same way for *every* kind (the
+    serial backend used to swallow it silently).  ``workers`` (a list of
+    ``"host:port"`` daemon addresses) is required by — and only
+    meaningful for — the ``"remote"`` kind; ``degree`` there optionally
+    caps how many of the listed daemons become lanes.
     """
+    if degree is not None and degree < 1:
+        raise ConfigurationError(
+            f"degree must be at least 1 for the {kind!r} executor, got {degree}"
+        )
+    if workers is not None and kind != "remote":
+        raise ConfigurationError(
+            f"worker addresses only apply to the 'remote' executor, "
+            f"not {kind!r}"
+        )
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":
         return ThreadExecutor(degree)
     if kind == "process":
         return ProcessExecutor(degree)
+    if kind == "remote":
+        if not workers:
+            raise ConfigurationError(
+                "the 'remote' executor needs worker addresses "
+                "(workers=['host:port', ...]); start daemons with "
+                "`python -m repro.worker --listen host:port`"
+            )
+        lanes = list(workers)[:degree] if degree else list(workers)
+        return RemoteExecutor(lanes)
     raise ConfigurationError(
         f"unknown executor kind {kind!r}; expected one of {', '.join(EXECUTOR_KINDS)}"
     )

@@ -1,0 +1,498 @@
+"""Multi-node lane transport: framing protocol + worker daemon core.
+
+The lane contract of :class:`~repro.utils.parallel.Executor`
+(``broadcast`` / ``map_on`` / ``map_tasks``) is location-transparent: a
+remote lane only needs the same three operations over a network channel
+plus failure handling (DESIGN.md §6 "Remote lanes").  This module
+provides the channel and the worker side of that pair:
+
+* :class:`Channel` — length-prefixed pickle framing over a connected
+  TCP socket.  Every frame is an 8-byte big-endian unsigned length
+  followed by exactly that many pickle bytes; a peer that disappears
+  mid-frame surfaces as :class:`~repro.errors.TransportError`, never as
+  a truncated unpickle.
+* :class:`PayloadRegistry` — the worker-side broadcast store: the same
+  bounded LRU over resident payloads as the process-pool lanes
+  (:data:`repro.utils.parallel._WORKER_PAYLOAD_CAP`), so a long stream
+  of per-batch broadcasts cannot grow a daemon's memory without bound.
+  An evicted key is reported to the client as ``("stale", key)`` and the
+  client re-broadcasts from its retained copy — eviction is a
+  performance event, not an error.
+* :class:`WorkerServer` — the daemon loop: accept connections, serve
+  framed requests against one shared registry.  ``python -m
+  repro.worker --listen host:port`` (:mod:`repro.worker`) runs one as a
+  standalone process; the loopback test harness runs the same class on
+  a background thread in-process.
+
+Wire protocol (client → worker request, worker → client reply):
+
+==================================  ======================================
+request                             reply
+==================================  ======================================
+``("ping",)``                       ``("ok", "pong")``
+``("broadcast", key, blob)``        ``("ok", None)`` (``blob`` = payload
+                                    pickled separately by the client, so
+                                    re-broadcasts reuse the same bytes)
+``("release", key)``                ``("ok", None)`` (missing key: no-op)
+``("map_on", key, func, tasks)``    ``("ok", [func(payload, t)...])`` or
+                                    ``("stale", key)`` if evicted/unknown
+``("map_tasks", func, tasks)``      ``("ok", [func(t)...])``
+``("shutdown",)``                   ``("ok", None)``, then the daemon
+                                    stops accepting and exits
+==================================  ======================================
+
+A task that raises on the worker replies ``("err", exception,
+traceback_text)``; the client re-raises the exception (or
+:class:`~repro.errors.WorkerFailure` when it does not pickle) — a *task*
+failure is the caller's bug and must not be confused with a *lane*
+failure, which is what the retry/exclusion machinery of
+:class:`~repro.utils.parallel.RemoteExecutor` handles.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TransportError, ValidationError, WorkerFailure
+
+#: frame header: 8-byte big-endian unsigned payload length.
+_HEADER = struct.Struct(">Q")
+
+#: refuse frames beyond this many bytes — a corrupt or misaligned header
+#: must fail loudly instead of attempting a terabyte allocation.
+MAX_FRAME_BYTES = 1 << 36  # 64 GiB
+
+#: resident payloads a worker daemon keeps at once; mirrors the process
+#: pool's worker-side LRU cap (``parallel._WORKER_PAYLOAD_CAP``).
+DEFAULT_PAYLOAD_CAP = 8
+
+
+def dumps(obj: object) -> bytes:
+    """Pickle ``obj`` the way every frame body is pickled."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; loud on malformed input."""
+    host, sep, port_text = str(text).rpartition(":")
+    if not sep or not host:
+        raise ValidationError(
+            f"worker address {text!r} must look like 'host:port'"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ValidationError(
+            f"worker address {text!r} has a non-integer port"
+        ) from exc
+    if not 0 <= port <= 65535:
+        raise ValidationError(f"worker address {text!r} port out of range")
+    return host, port
+
+
+def format_address(host: str, port: int) -> str:
+    return f"{host}:{port}"
+
+
+class Channel:
+    """Length-prefixed pickle frames over a connected socket.
+
+    Byte counters (``sent_bytes`` / ``received_bytes``) record the exact
+    frame bytes that crossed the socket — deterministic, so the transport
+    benchmark can gate on them (``benchmarks/bench_kernels``).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self.sent_bytes = 0
+        self.received_bytes = 0
+        self._closed = False
+
+    # ------------------------------------------------------------- framing
+
+    def send(self, message: object) -> None:
+        """Frame and send one message; :class:`TransportError` on failure."""
+        body = dumps(message)
+        self.send_raw(_HEADER.pack(len(body)) + body)
+
+    def send_raw(self, data: bytes) -> None:
+        """Send pre-framed bytes (the fault-injection seam uses this)."""
+        if self._closed:
+            raise TransportError("channel is closed")
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+        self.sent_bytes += len(data)
+
+    def recv(self) -> Any:
+        """Receive one framed message; :class:`TransportError` on EOF/trunc."""
+        header = self._recv_exact(_HEADER.size, expect_eof=False)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+                "cap; stream is corrupt or misaligned"
+            )
+        body = self._recv_exact(length, expect_eof=False)
+        self.received_bytes += _HEADER.size + length
+        return pickle.loads(body)
+
+    def recv_or_eof(self) -> Tuple[bool, Any]:
+        """Like :meth:`recv`, but a clean EOF *between* frames returns
+        ``(False, None)`` instead of raising — the worker's accept loop
+        treats a client hanging up between requests as a normal goodbye.
+        Mid-frame EOF still raises (a truncated frame is never normal)."""
+        header = self._recv_exact(_HEADER.size, expect_eof=True)
+        if header is None:
+            return False, None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )
+        body = self._recv_exact(length, expect_eof=False)
+        self.received_bytes += _HEADER.size + length
+        return True, pickle.loads(body)
+
+    def _recv_exact(self, n: int, expect_eof: bool) -> Optional[bytes]:
+        pieces: List[bytes] = []
+        remaining = n
+        while remaining > 0:
+            try:
+                piece = self._sock.recv(min(remaining, 1 << 20))
+            except OSError as exc:
+                raise TransportError(f"recv failed: {exc}") from exc
+            if not piece:
+                if expect_eof and remaining == n:
+                    return None  # clean close on a frame boundary
+                raise TransportError(
+                    f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+                )
+            pieces.append(piece)
+            remaining -= len(piece)
+        return b"".join(pieces)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+
+def connect(host: str, port: int, timeout: float = 5.0) -> Channel:
+    """Open a TCP connection to a worker daemon and wrap it in a Channel.
+
+    The connect itself is bounded by ``timeout``; the established socket
+    then blocks indefinitely — a killed daemon closes its sockets, which
+    surfaces as EOF, so reads never need a liveness timer of their own.
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise TransportError(
+            f"cannot connect to worker {format_address(host, port)}: {exc}"
+        ) from exc
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return Channel(sock)
+
+
+def request(channel: Channel, message: object) -> Any:
+    """One request/reply round-trip, unwrapping the reply envelope.
+
+    ``("ok", value)`` returns ``value``; ``("stale", key)`` raises
+    :class:`StaleBroadcast` (the client re-broadcasts and retries);
+    ``("err", exc, tb)`` re-raises the worker-side exception.  Anything
+    else is a framing/protocol bug and raises :class:`TransportError`.
+    """
+    channel.send(message)
+    reply = channel.recv()
+    return unwrap_reply(reply)
+
+
+def unwrap_reply(reply: Any) -> Any:
+    """Envelope violations (wrong tag, wrong arity) raise
+    :class:`TransportError` — the *lane* is broken or version-skewed, and
+    the client treats it like any other lane failure, never as a task
+    result or a task error."""
+    if not isinstance(reply, tuple) or not reply:
+        raise TransportError(f"malformed reply frame: {reply!r}")
+    tag = reply[0]
+    if tag == "ok" and len(reply) == 2:
+        return reply[1]
+    if tag == "stale" and len(reply) == 2:
+        raise StaleBroadcast(reply[1])
+    if tag == "err" and len(reply) == 3:
+        _, exc, tb_text = reply
+        if isinstance(exc, BaseException):
+            raise exc from WorkerFailure(
+                "remote worker raised; remote traceback follows", tb_text
+            )
+        raise WorkerFailure(f"remote worker raised: {exc}", tb_text)
+    raise TransportError(f"malformed reply envelope: {reply!r}")
+
+
+class StaleBroadcast(Exception):
+    """A worker no longer holds the addressed broadcast key (LRU-evicted
+    or a fresh/replacement daemon).  Internal control flow — the client
+    executor catches it, re-broadcasts from its retained copy, and
+    retries; it never escapes to callers."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(key)
+        self.key = key
+
+
+# ------------------------------------------------------------------ worker
+
+
+class PayloadRegistry:
+    """Bounded LRU of broadcast payloads held by one worker daemon.
+
+    Same eviction rule as the process-pool lanes: re-addressing a payload
+    moves it to the back; exceeding the cap drops the front (oldest).
+    Thread-safe — a daemon serves each client connection on its own
+    thread against this one shared registry.
+    """
+
+    def __init__(self, cap: int = DEFAULT_PAYLOAD_CAP) -> None:
+        if cap < 1:
+            raise ValidationError("payload cap must be at least 1")
+        self.cap = int(cap)
+        self._payloads: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def put(self, key: str, payload: object) -> None:
+        with self._lock:
+            self._payloads.pop(key, None)  # re-broadcast refreshes recency
+            self._payloads[key] = payload
+            while len(self._payloads) > self.cap:
+                self._payloads.pop(next(iter(self._payloads)))
+
+    def get(self, key: str) -> Any:
+        """The payload under ``key`` (LRU-touched), or raise ``KeyError``."""
+        with self._lock:
+            payload = self._payloads.pop(key)
+            self._payloads[key] = payload
+            return payload
+
+    def release(self, key: str) -> None:
+        with self._lock:
+            self._payloads.pop(key, None)
+
+    def keys(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._payloads)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._payloads)
+
+
+def handle_request(message: Any, registry: PayloadRegistry) -> Tuple:
+    """Execute one request against ``registry``; returns the reply tuple.
+
+    Pure function of (message, registry) — the socket server and the
+    in-process harness share it, so protocol behaviour cannot drift
+    between deployment shapes.
+    """
+    try:
+        if not isinstance(message, tuple) or not message:
+            raise ValidationError(f"malformed request frame: {message!r}")
+        op = message[0]
+        if op == "ping":
+            return ("ok", "pong")
+        if op == "broadcast":
+            _, key, blob = message
+            registry.put(key, pickle.loads(blob))
+            return ("ok", None)
+        if op == "release":
+            registry.release(message[1])
+            return ("ok", None)
+        if op == "map_on":
+            _, key, func, tasks = message
+            try:
+                payload = registry.get(key)
+            except KeyError:
+                return ("stale", key)
+            return ("ok", [func(payload, task) for task in tasks])
+        if op == "map_tasks":
+            _, func, tasks = message
+            return ("ok", [func(task) for task in tasks])
+        if op == "shutdown":
+            return ("ok", None)
+        raise ValidationError(f"unknown request op {op!r}")
+    except Exception as exc:  # noqa: BLE001 - forwarded to the client
+        tb_text = traceback.format_exc()
+        try:
+            dumps(exc)  # only ship exceptions that survive pickling
+            return ("err", exc, tb_text)
+        except Exception:  # noqa: BLE001
+            return ("err", repr(exc), tb_text)
+
+
+class WorkerServer:
+    """TCP worker daemon: one shared payload registry, framed requests.
+
+    Each accepted connection is served on its own daemon thread, so a
+    client executor can keep one persistent channel per lane while the
+    test harness pokes the same daemon from a second connection.
+    ``kill()`` closes the listening socket *and* every live connection
+    mid-flight — the deterministic stand-in for a crashed node that the
+    chaos tests drive.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        payload_cap: int = DEFAULT_PAYLOAD_CAP,
+    ) -> None:
+        self.registry = PayloadRegistry(payload_cap)
+        self._listener = socket.create_server((host, port))
+        # accept() with a short timeout: closing a socket does not wake a
+        # thread blocked in accept() on Linux, so the loop polls the
+        # shutdown flag instead of relying on close-to-interrupt.
+        self._listener.settimeout(0.1)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self.address = format_address(self.host, self.port)
+        self._lock = threading.Lock()
+        self._connections: List[socket.socket] = []
+        self._threads: List[threading.Thread] = []
+        self._shutdown = threading.Event()
+        #: set when the accept loop has fully exited — only then is the
+        #: port actually refusing connections (a thread blocked inside
+        #: ``accept(2)`` keeps the kernel socket alive past ``close()``).
+        self._accept_done = threading.Event()
+        self._accept_done.set()  # no loop running yet
+        self._accept_thread: Optional[threading.Thread] = None
+        #: requests served, by op — the harness asserts re-broadcasts here.
+        self.op_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- serving
+
+    def serve_forever(self) -> None:
+        """Accept and serve until :meth:`kill`/:meth:`close`/shutdown op."""
+        self._accept_done.clear()
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except TimeoutError:
+                    continue  # poll the shutdown flag
+                except OSError:
+                    break  # listener closed
+                conn.settimeout(None)  # accepted sockets inherit the timeout
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                with self._lock:
+                    if self._shutdown.is_set():
+                        conn.close()
+                        break
+                    self._connections.append(conn)
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                )
+                # prune finished handlers: a long-lived daemon serves many
+                # short-lived connections and must not grow without bound
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(thread)
+                thread.start()
+        finally:
+            self._close_listener()
+            self._accept_done.set()
+
+    def serve_in_thread(self) -> "WorkerServer":
+        """Run the accept loop on a background daemon thread (harness mode)."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        channel = Channel(conn)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    alive, message = channel.recv_or_eof()
+                except TransportError:
+                    break  # truncated frame or reset: drop the connection
+                if not alive:
+                    break
+                op = message[0] if isinstance(message, tuple) and message else "?"
+                self.op_counts[op] = self.op_counts.get(op, 0) + 1
+                reply = handle_request(message, self.registry)
+                if op == "shutdown":
+                    # stop accepting *before* acknowledging, so a client
+                    # that saw the reply can rely on the port being gone;
+                    # the accept loop holds the kernel socket alive until
+                    # it exits, so wait for it, not just for close()
+                    self._shutdown.set()
+                    self._close_listener()
+                    self._accept_done.wait(timeout=2.0)
+                try:
+                    channel.send(reply)
+                except TransportError:
+                    break
+                if op == "shutdown":
+                    break
+        finally:
+            channel.close()
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def _close_listener(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def kill(self) -> None:
+        """Simulate a node crash: drop the listener and every connection
+        immediately, mid-frame if one is in flight.  Idempotent."""
+        self._shutdown.set()
+        self._close_listener()
+        # deterministic aftermath: once kill() returns, the port refuses
+        self._accept_done.wait(timeout=2.0)
+        with self._lock:
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            try:
+                # RST rather than FIN-with-grace: a crash, not a goodbye.
+                conn.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Graceful stop; idempotent, shares the kill path after draining."""
+        self.kill()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "WorkerServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,80 @@
+"""Standalone worker daemon: ``python -m repro.worker --listen host:port``.
+
+Runs one :class:`~repro.utils.transport.WorkerServer` in the foreground —
+the remote end of the :class:`~repro.utils.parallel.RemoteExecutor` lane
+contract.  The daemon is stateless apart from its bounded broadcast
+registry, so a fleet of them can sit behind any process supervisor; a
+client that loses one mid-sweep retries on the survivors (DESIGN.md §6
+"Remote lanes").
+
+Flags
+-----
+``--listen host:port``
+    Interface and port to bind (port 0 picks a free port).
+``--port-file PATH``
+    After binding, write the realised ``host:port`` to PATH — how a
+    harness that requested port 0 learns where the daemon landed.
+``--payload-cap N``
+    Resident broadcast payloads kept before LRU eviction (default 8,
+    matching the in-process pool lanes).  An evicted payload is
+    re-broadcast by the client on next use, so a small cap trades
+    re-transfer for bounded memory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.utils.transport import (
+    DEFAULT_PAYLOAD_CAP,
+    WorkerServer,
+    parse_address,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.worker",
+        description="CPA remote-lane worker daemon (broadcast/map_on/map_tasks)",
+    )
+    parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        help="host:port to bind (default 127.0.0.1:0 = loopback, free port)",
+    )
+    parser.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the realised host:port here once listening",
+    )
+    parser.add_argument(
+        "--payload-cap",
+        type=int,
+        default=DEFAULT_PAYLOAD_CAP,
+        help="resident broadcast payloads kept before LRU eviction",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    host, port = parse_address(args.listen)
+    server = WorkerServer(host, port, payload_cap=args.payload_cap)
+    if args.port_file is not None:
+        args.port_file.write_text(server.address + "\n", encoding="utf-8")
+    print(f"repro worker listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

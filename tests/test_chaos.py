@@ -1,0 +1,231 @@
+"""Chaos harness: worker daemons die under the sharded sweep (DESIGN.md §6).
+
+The contract under test: killing remote worker daemons — between sweeps,
+*mid-sweep* (between the lane calls of one sweep), or mid-stream for the
+SVI engine — must never change results.  The surviving lanes absorb the
+dead lane's tasks, payloads are re-broadcast to lanes that lost them
+(daemon restarts, replacement workers), and the final trajectories stay
+**bitwise equal** to the serial fused-order path, because results are
+merged in task order regardless of which lane computed what.
+
+Everything here is deterministic: kills are triggered by call counts
+(:class:`tests.transport_harness.KillAfterMapOn`) or happen while no
+call is in flight — no timing races, no retries-until-green.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CPAConfig
+from repro.core.inference import VariationalInference
+from repro.core.svi import StochasticInference, stream_from_matrix
+from repro.errors import TransportError
+from repro.utils.parallel import RemoteExecutor
+from repro.utils.transport import WorkerServer
+
+from tests.test_sharded import _assert_states_close
+from tests.transport_harness import KillAfterMapOn, worker_fleet
+
+pytestmark = pytest.mark.network
+
+BITWISE = dict(atol=0, rtol=0)
+SHARD_COUNTS = [1, 2, 7]
+
+
+def _config(n_shards, **overrides):
+    return CPAConfig(
+        seed=4, max_iterations=6, backend="sharded", n_shards=n_shards, **overrides
+    )
+
+
+# ------------------------------------------------------------------ batch VI
+
+
+class TestBatchVIKills:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_mid_sweep_kill_stays_bitwise_equal_to_serial(
+        self, tiny_dataset, n_shards
+    ):
+        """Worker 0 dies between two lane calls of sweep 2; sweeps 2-4
+        reroute to the survivor with no numeric trace."""
+        config = _config(n_shards)
+        serial = VariationalInference(config, tiny_dataset.answers)
+        with worker_fleet(2) as servers:
+            # init issues one map_on (seeding statistics), each sweep three
+            # (worker scores, item scores, cell statistics): kill_after=5
+            # murders the daemon *inside* sweep 2
+            executor = KillAfterMapOn(
+                [s.address for s in servers], victim=servers[0], kill_after=5
+            )
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            for _ in range(4):
+                assert remote.sweep() == serial.sweep()
+            assert remote.elbo() == serial.elbo()
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            # the victim was excluded; the survivor carried the tail
+            assert executor.map_on_calls > 5
+            assert executor.live_workers() == [servers[1].address]
+            assert servers[1].op_counts["map_on"] > 0
+            executor.close()
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_kill_between_sweeps_stays_bitwise_equal_to_serial(
+        self, tiny_dataset, n_shards
+    ):
+        config = _config(n_shards)
+        serial = VariationalInference(config, tiny_dataset.answers)
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor([s.address for s in servers])
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            for _ in range(2):
+                assert remote.sweep() == serial.sweep()
+            servers[0].kill()  # no call in flight
+            for _ in range(2):
+                assert remote.sweep() == serial.sweep()
+            assert remote.elbo() == serial.elbo()
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            assert executor.live_workers() == [servers[1].address]
+            executor.close()
+
+    def test_daemon_restart_on_same_port_is_rebroadcast_to(self, tiny_dataset):
+        """A daemon that dies and is respawned on the same address holds no
+        state; the retry path must re-broadcast the shard plan to it (the
+        `stale` protocol) instead of failing or silently excluding it."""
+        config = _config(3)
+        serial = VariationalInference(config, tiny_dataset.answers)
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor([s.address for s in servers])
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            assert remote.sweep() == serial.sweep()
+            servers[0].kill()
+            replacement = WorkerServer(
+                host=servers[0].host, port=servers[0].port
+            ).serve_in_thread()
+            try:
+                for _ in range(3):
+                    assert remote.sweep() == serial.sweep()
+                assert remote.elbo() == serial.elbo()
+                _assert_states_close(remote.state, serial.state, BITWISE)
+                # the respawned daemon reconnected and was re-broadcast to
+                assert len(executor.live_workers()) == 2
+                assert replacement.op_counts.get("broadcast", 0) >= 1
+                assert replacement.op_counts.get("map_on", 0) >= 1
+            finally:
+                executor.close()
+                replacement.close()
+
+    def test_replacement_worker_attached_mid_fit_gets_the_plan(self, tiny_dataset):
+        config = _config(4)
+        serial = VariationalInference(config, tiny_dataset.answers)
+        with worker_fleet(3) as servers:
+            executor = RemoteExecutor([s.address for s in servers[:2]])
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            assert remote.sweep() == serial.sweep()
+            servers[1].kill()
+            executor.add_worker(servers[2].address)
+            for _ in range(2):
+                assert remote.sweep() == serial.sweep()
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            assert servers[2].op_counts.get("broadcast", 0) >= 1
+            assert servers[2].op_counts.get("map_on", 0) >= 1
+            executor.close()
+
+    def test_losing_every_worker_fails_loudly(self, tiny_dataset):
+        config = _config(2)
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor([s.address for s in servers])
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            remote.sweep()
+            for server in servers:
+                server.kill()
+            with pytest.raises(TransportError, match="all remote workers"):
+                remote.sweep()
+            executor.close()
+
+
+class TestConfigDrivenRemote:
+    def test_engine_resolves_remote_lanes_from_config_alone(self, tiny_dataset):
+        """CPAConfig(executor='remote', workers=...) is the whole spec: the
+        engine builds its own RemoteExecutor and stays bitwise equal."""
+        serial = VariationalInference(_config(2), tiny_dataset.answers)
+        with worker_fleet(2) as servers:
+            config = _config(2).with_overrides(
+                executor="remote", workers=tuple(s.address for s in servers)
+            )
+            remote = VariationalInference(config, tiny_dataset.answers)
+            assert isinstance(remote.executor, RemoteExecutor)
+            for _ in range(2):
+                assert remote.sweep() == serial.sweep()
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            remote.executor.close()
+
+
+# ----------------------------------------------------------------------- SVI
+
+
+class TestSVIKills:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_kill_between_batches_stays_bitwise_equal_to_serial(
+        self, tiny_dataset, n_shards
+    ):
+        config = CPAConfig(
+            seed=6, svi_iterations=1, backend="sharded", n_shards=n_shards
+        )
+        sizes = (tiny_dataset.n_items, tiny_dataset.n_workers, tiny_dataset.n_labels)
+        batches = stream_from_matrix(
+            tiny_dataset.answers, answers_per_batch=80, seed=9
+        )
+        serial = StochasticInference(config, *sizes)
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor([s.address for s in servers])
+            remote = StochasticInference(config, *sizes, executor=executor)
+            kill_at = len(batches) // 2
+            for index, batch in enumerate(batches):
+                if index == kill_at:
+                    servers[0].kill()
+                serial.process_batch(batch)
+                remote.process_batch(batch)
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            assert executor.live_workers() == [servers[1].address]
+            executor.close()
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_mid_batch_kill_stays_bitwise_equal_to_serial(
+        self, tiny_dataset, n_shards
+    ):
+        """The daemon dies between two lane calls *inside* one SVI batch."""
+        config = CPAConfig(
+            seed=6, svi_iterations=1, backend="sharded", n_shards=n_shards
+        )
+        sizes = (tiny_dataset.n_items, tiny_dataset.n_workers, tiny_dataset.n_labels)
+        batches = stream_from_matrix(
+            tiny_dataset.answers, answers_per_batch=80, seed=9
+        )
+        serial = StochasticInference(config, *sizes)
+        with worker_fleet(2) as servers:
+            executor = KillAfterMapOn(
+                [s.address for s in servers],
+                victim=servers[0],
+                kill_after=10**9,  # armed below, once batch 1 is done
+            )
+            remote = StochasticInference(config, *sizes, executor=executor)
+            serial.process_batch(batches[0])
+            remote.process_batch(batches[0])
+            # die on the second map_on of the next batch
+            executor._kill_after = executor.map_on_calls + 1
+            for batch in batches[1:]:
+                serial.process_batch(batch)
+                remote.process_batch(batch)
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            assert executor.live_workers() == [servers[1].address]
+            executor.close()

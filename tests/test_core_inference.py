@@ -57,6 +57,67 @@ class TestConfig:
         updated = CPAConfig().with_overrides(alpha=5.0)
         assert updated.alpha == 5.0
 
+    def test_executor_spec_validation(self):
+        """The declarative executor selection (DESIGN.md §6 remote lanes)."""
+        from repro.errors import ConfigurationError
+
+        CPAConfig(executor="thread", executor_degree=4)
+        CPAConfig(executor="remote", workers=("127.0.0.1:9001",))
+        with pytest.raises(ConfigurationError, match="executor"):
+            CPAConfig(executor="spark")
+        with pytest.raises(ValidationError):
+            CPAConfig(executor_degree=-1)
+        # remote without daemons, and daemons without remote: both loud
+        with pytest.raises(ConfigurationError, match="worker"):
+            CPAConfig(executor="remote")
+        with pytest.raises(ConfigurationError, match="remote"):
+            CPAConfig(workers=("127.0.0.1:9001",))
+
+    def test_resolve_executor_builds_the_selected_kind(self):
+        from repro.utils.parallel import SerialExecutor, ThreadExecutor
+
+        assert isinstance(CPAConfig().resolve_executor(), SerialExecutor)
+        with CPAConfig(
+            executor="thread", executor_degree=2
+        ).resolve_executor() as pool:
+            assert isinstance(pool, ThreadExecutor)
+            assert pool.degree == 2
+
+    def test_engines_build_their_executor_from_the_config(self, tiny_dataset):
+        """No explicit executor object -> the config's declarative
+        selection is honoured (serial stays the default)."""
+        from repro.core.svi import StochasticInference
+        from repro.utils.parallel import SerialExecutor, ThreadExecutor
+
+        default = VariationalInference(CPAConfig(seed=0), tiny_dataset.answers)
+        assert isinstance(default.executor, SerialExecutor)
+        threaded = VariationalInference(
+            CPAConfig(seed=0, executor="thread", executor_degree=2),
+            tiny_dataset.answers,
+        )
+        assert isinstance(threaded.executor, ThreadExecutor)
+        assert threaded.executor.degree == 2
+        svi = StochasticInference(
+            CPAConfig(seed=0, executor="thread", executor_degree=2),
+            tiny_dataset.n_items,
+            tiny_dataset.n_workers,
+            tiny_dataset.n_labels,
+        )
+        assert isinstance(svi.executor, ThreadExecutor)
+        threaded.executor.close()
+        svi.executor.close()
+
+    def test_resolve_executor_remote_lanes(self):
+        from repro.utils.parallel import RemoteExecutor
+
+        config = CPAConfig(
+            executor="remote", workers=("127.0.0.1:9001", "127.0.0.1:9002")
+        )
+        pool = config.resolve_executor()  # lazy: no connection yet
+        assert isinstance(pool, RemoteExecutor)
+        assert pool.degree == 2
+        pool.close()
+
 
 class TestStateInit:
     def test_random_init_valid(self):

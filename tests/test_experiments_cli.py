@@ -231,6 +231,40 @@ class TestCli:
         )
         assert _experiment_kwargs(args)["kernel_backend"] == "fused"
 
+    def test_workers_flag_parses_and_implies_remote_executor(self):
+        from repro.cli import _experiment_kwargs, build_parser
+
+        args = build_parser().parse_args(
+            ["run", "fig7", "--workers", "127.0.0.1:9001, 127.0.0.1:9002"]
+        )
+        kwargs = _experiment_kwargs(args)
+        assert kwargs["workers"] == ("127.0.0.1:9001", "127.0.0.1:9002")
+        assert kwargs["backend"] == "remote"
+        # an explicit remote selection composes with the address list
+        args = build_parser().parse_args(
+            ["run", "fig7", "--executor", "remote", "--workers", "h:1"]
+        )
+        assert _experiment_kwargs(args)["backend"] == "remote"
+
+    def test_bad_worker_addresses_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig7", "--workers", "no-port"])
+        with pytest.raises(SystemExit):
+            main(["run", "fig7", "--workers", "host:not-a-number"])
+
+    def test_workers_with_non_remote_executor_fails_at_parse_time(self):
+        """The contradiction is statically detectable: it must not cost a
+        minutes-long experiment run before erroring."""
+        with pytest.raises(SystemExit):
+            main(["run", "fig7", "--executor", "thread", "--workers", "h:1"])
+
+    def test_workers_kwarg_filtered_by_signature(self):
+        from repro.cli import _accepted_kwargs
+
+        generic = {"workers": ("127.0.0.1:9001",), "backend": "remote"}
+        assert _accepted_kwargs("fig7", generic) == generic
+        assert _accepted_kwargs("table3", generic) == {}
+
     def test_auto_kernel_backend_parses(self):
         from repro.cli import _experiment_kwargs, build_parser
 

@@ -17,6 +17,8 @@ Contracts under test:
   volume and executor degree.
 """
 
+import contextlib
+
 import numpy as np
 import pytest
 
@@ -40,9 +42,35 @@ from repro.utils.parallel import (
 )
 
 from tests.test_sharded import _assert_states_close, _random_problem
+from tests.transport_harness import worker_fleet
 
 SHARD_COUNTS = [1, 2, 7]
-EXECUTOR_KINDS = ["serial", "thread", "process"]
+EXECUTOR_KINDS = [
+    "serial",
+    "thread",
+    "process",
+    # loopback TCP daemons: the multi-node transport must sit in the same
+    # parity matrix as the in-process lanes (skip with -m "not network")
+    pytest.param("remote", marks=pytest.mark.network),
+]
+
+
+@contextlib.contextmanager
+def _pool(kind, degree=2):
+    """An executor of ``kind`` — for ``"remote"``, over fresh loopback
+    worker daemons whose lifetime is scoped to the context."""
+    if kind == "remote":
+        with worker_fleet(degree) as servers:
+            executor = make_executor(
+                "remote", workers=[server.address for server in servers]
+            )
+            try:
+                yield executor
+            finally:
+                executor.close()
+    else:
+        with make_executor(kind, degree) as executor:
+            yield executor
 
 
 def _kernel_pair(seed, n_shards, **kwargs):
@@ -64,7 +92,7 @@ class TestResidentKernelBitwise:
     @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
     def test_all_consumers_bitwise_equal(self, kind, n_shards):
         resident, reship, phi, kappa, e_log_psi = _kernel_pair(21, n_shards)
-        with make_executor(kind, 2) as pool:
+        with _pool(kind) as pool:
             for kernel in (resident, reship):
                 kernel.begin_sweep(e_log_psi)
             for method, args, shape in (
@@ -104,7 +132,7 @@ class TestResidentEngineParity:
     @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
     def test_batch_vi_trajectories(self, tiny_dataset, kind, n_shards):
         config = CPAConfig(seed=4, max_iterations=6, backend="sharded", n_shards=n_shards)
-        with make_executor(kind, 2) as pool_a, make_executor(kind, 2) as pool_b:
+        with _pool(kind) as pool_a, _pool(kind) as pool_b:
             resident = VariationalInference(config, tiny_dataset.answers, executor=pool_a)
             reship = VariationalInference(
                 config.with_overrides(resident_shards=False),
@@ -126,7 +154,7 @@ class TestResidentEngineParity:
         )
         sizes = (tiny_dataset.n_items, tiny_dataset.n_workers, tiny_dataset.n_labels)
         batches = stream_from_matrix(tiny_dataset.answers, answers_per_batch=80, seed=9)
-        with make_executor(kind, 2) as pool_a, make_executor(kind, 2) as pool_b:
+        with _pool(kind) as pool_a, _pool(kind) as pool_b:
             resident = StochasticInference(config, *sizes, executor=pool_a)
             reship = StochasticInference(
                 config.with_overrides(resident_shards=False), *sizes, executor=pool_b

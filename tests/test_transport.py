@@ -1,0 +1,723 @@
+"""Framing protocol + remote-lane executor tests (DESIGN.md §6 "Remote lanes").
+
+Layers under test, bottom up:
+
+* **Framing** — length-prefixed pickle frames round-trip any payload
+  (large arrays, empty payloads, unicode keys) and fail loudly on
+  truncation, clean EOF, and corrupt headers.  These run over
+  ``socketpair`` — no TCP involved.
+* **Worker protocol** — ``handle_request`` + :class:`PayloadRegistry`:
+  the daemon-side op semantics, LRU eviction, stale replies, and task
+  exceptions, as pure functions.
+* **Daemon + RemoteExecutor** (marked ``network``) — real loopback
+  daemons: the full lane contract, retry/exclusion on injected faults,
+  re-broadcast after daemon-side eviction, and the subprocess daemon
+  (``python -m repro.worker``).
+"""
+
+import pickle
+import socket
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    TransportError,
+    ValidationError,
+    WorkerFailure,
+)
+from repro.utils.parallel import RemoteExecutor, SerialExecutor, make_executor
+from repro.utils.transport import (
+    MAX_FRAME_BYTES,
+    Channel,
+    PayloadRegistry,
+    StaleBroadcast,
+    WorkerServer,
+    connect,
+    dumps,
+    handle_request,
+    parse_address,
+    request,
+    unwrap_reply,
+)
+
+from tests.transport_harness import (
+    FaultSchedule,
+    SubprocessWorker,
+    faulty_lane_factory,
+    remote_pool,
+    worker_fleet,
+)
+
+network = pytest.mark.network
+
+
+# ------------------------------------------------------------ task functions
+# module-level so they pickle by reference into worker daemons
+
+
+def _plus(payload, task):
+    return payload + task
+
+
+def _double(task):
+    return task * 2
+
+
+def _boom(payload, task):
+    raise ValueError(f"task {task!r} exploded")
+
+
+def _dot(payload, task):
+    return payload @ task
+
+
+# ---------------------------------------------------------------- addresses
+
+
+class TestParseAddress:
+    def test_round_trip(self):
+        assert parse_address("127.0.0.1:8123") == ("127.0.0.1", 8123)
+        assert parse_address("some.host:0") == ("some.host", 0)
+
+    @pytest.mark.parametrize(
+        "bad", ["localhost", ":99", "host:", "host:abc", "host:70000", "host:-1"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            parse_address(bad)
+
+
+# ------------------------------------------------------------------ framing
+
+
+def _channel_pair():
+    a, b = socket.socketpair()
+    return Channel(a), Channel(b)
+
+
+class TestFraming:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            b"",
+            "",
+            (),
+            {},
+            [],
+            0,
+            {"κλειδί": [1, 2], "🔑": {"nested": ("ключ", b"\x00\xff")}},
+            ("shard-plan-0", list(range(100))),
+        ],
+        ids=repr,
+    )
+    def test_round_trip(self, payload):
+        a, b = _channel_pair()
+        a.send(payload)
+        assert b.recv() == payload
+        a.close(), b.close()
+
+    def test_large_array_round_trips_bitwise(self):
+        import threading
+
+        rng = np.random.default_rng(0)
+        array = rng.random(1 << 18)  # 2 MiB of float64
+        a, b = _channel_pair()
+        # the frame exceeds the kernel socket buffer: send from a helper
+        # thread so the same-thread recv can drain it
+        sender = threading.Thread(target=a.send, args=(array,))
+        sender.start()
+        out = b.recv()
+        sender.join()
+        assert out.dtype == array.dtype
+        np.testing.assert_array_equal(out, array)
+        # counters record the exact frame bytes
+        assert a.sent_bytes == b.received_bytes > array.nbytes
+        a.close(), b.close()
+
+    def test_many_frames_in_sequence(self):
+        a, b = _channel_pair()
+        for i in range(50):
+            a.send({"frame": i})
+        for i in range(50):
+            assert b.recv() == {"frame": i}
+        a.close(), b.close()
+
+    def test_mid_frame_eof_raises_transport_error(self):
+        a, b = _channel_pair()
+        body = dumps({"x": list(range(1000))})
+        frame = struct.pack(">Q", len(body)) + body
+        a.send_raw(frame[: len(frame) // 2])
+        a.close()
+        with pytest.raises(TransportError, match="mid-frame"):
+            b.recv()
+        b.close()
+
+    def test_clean_eof_between_frames_is_a_goodbye(self):
+        a, b = _channel_pair()
+        a.send("hello")
+        a.close()
+        assert b.recv_or_eof() == (True, "hello")
+        assert b.recv_or_eof() == (False, None)
+        b.close()
+
+    def test_mid_frame_eof_raises_even_for_recv_or_eof(self):
+        a, b = _channel_pair()
+        a.send_raw(struct.pack(">Q", 100) + b"short")
+        a.close()
+        with pytest.raises(TransportError, match="mid-frame"):
+            b.recv_or_eof()
+        b.close()
+
+    def test_oversized_frame_header_rejected(self):
+        a, b = _channel_pair()
+        a.send_raw(struct.pack(">Q", MAX_FRAME_BYTES + 1))
+        with pytest.raises(TransportError, match="cap"):
+            b.recv()
+        a.close(), b.close()
+
+    def test_send_on_closed_channel_raises(self):
+        a, _ = _channel_pair()
+        a.close()
+        with pytest.raises(TransportError, match="closed"):
+            a.send("x")
+
+
+# ----------------------------------------------------------- reply envelope
+
+
+class TestReplyEnvelope:
+    def test_ok_unwraps(self):
+        assert unwrap_reply(("ok", [1, 2])) == [1, 2]
+
+    def test_stale_raises_control_flow_exception(self):
+        with pytest.raises(StaleBroadcast) as excinfo:
+            unwrap_reply(("stale", "plan-3"))
+        assert excinfo.value.key == "plan-3"
+
+    def test_err_reraises_worker_exception_with_remote_traceback(self):
+        reply = handle_request(("map_on", "k", _boom, [7]), _registry_with("k", 0))
+        assert reply[0] == "err"
+        with pytest.raises(ValueError, match="exploded") as excinfo:
+            unwrap_reply(reply)
+        assert isinstance(excinfo.value.__cause__, WorkerFailure)
+        assert "ValueError" in excinfo.value.__cause__.remote_traceback
+
+    def test_unpicklable_worker_exception_degrades_to_worker_failure(self):
+        class LocalError(Exception):  # not importable on the client
+            pass
+
+        def _raise_local(payload, task):
+            raise LocalError("nope")
+
+        reply = handle_request(
+            ("map_on", "k", _raise_local, [1]), _registry_with("k", 0)
+        )
+        assert reply[0] == "err" and isinstance(reply[1], str)
+        with pytest.raises(WorkerFailure, match="LocalError"):
+            unwrap_reply(reply)
+
+    def test_malformed_reply_is_a_transport_error(self):
+        with pytest.raises(TransportError):
+            unwrap_reply("not-a-tuple")
+        with pytest.raises(TransportError):
+            unwrap_reply(("wat", 1))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [("ok",), ("ok", 1, 2), ("stale",), ("err", "boom"), ("err", 1, 2, 3)],
+        ids=repr,
+    )
+    def test_wrong_arity_envelopes_are_transport_errors(self, bad):
+        """A version-skewed daemon's envelope must read as a broken lane,
+        never as a task result or task error."""
+        with pytest.raises(TransportError, match="malformed"):
+            unwrap_reply(bad)
+
+
+# ------------------------------------------------------------ worker protocol
+
+
+def _registry_with(key, payload, cap=8):
+    registry = PayloadRegistry(cap)
+    registry.put(key, payload)
+    return registry
+
+
+class TestPayloadRegistry:
+    def test_lru_evicts_oldest_first(self):
+        registry = PayloadRegistry(cap=2)
+        registry.put("a", 1)
+        registry.put("b", 2)
+        registry.put("c", 3)  # a is oldest -> gone
+        assert registry.keys() == ("b", "c")
+
+    def test_get_touches_recency(self):
+        registry = PayloadRegistry(cap=2)
+        registry.put("a", 1)
+        registry.put("b", 2)
+        assert registry.get("a") == 1  # a is now most recent
+        registry.put("c", 3)  # b is oldest -> gone
+        assert registry.keys() == ("a", "c")
+
+    def test_rebroadcast_refreshes_recency(self):
+        registry = PayloadRegistry(cap=2)
+        registry.put("a", 1)
+        registry.put("b", 2)
+        registry.put("a", 10)  # re-broadcast: newest again
+        registry.put("c", 3)  # b evicted, not a
+        assert registry.keys() == ("a", "c")
+        assert registry.get("a") == 10
+
+    def test_release_is_idempotent(self):
+        registry = PayloadRegistry()
+        registry.put("a", 1)
+        registry.release("a")
+        registry.release("a")
+        assert len(registry) == 0
+
+    def test_cap_validated(self):
+        with pytest.raises(ValidationError):
+            PayloadRegistry(cap=0)
+
+
+class TestHandleRequest:
+    def test_ping(self):
+        assert handle_request(("ping",), PayloadRegistry()) == ("ok", "pong")
+
+    def test_broadcast_unpickles_blob_and_map_on_uses_it(self):
+        registry = PayloadRegistry()
+        assert handle_request(
+            ("broadcast", "base", dumps(100)), registry
+        ) == ("ok", None)
+        assert handle_request(("map_on", "base", _plus, [1, 2]), registry) == (
+            "ok",
+            [101, 102],
+        )
+
+    def test_map_on_unknown_key_replies_stale_not_error(self):
+        assert handle_request(("map_on", "ghost", _plus, [1]), PayloadRegistry()) == (
+            "stale",
+            "ghost",
+        )
+
+    def test_map_tasks(self):
+        assert handle_request(("map_tasks", _double, [1, 2, 3]), PayloadRegistry()) == (
+            "ok",
+            [2, 4, 6],
+        )
+
+    def test_release_missing_key_is_ok(self):
+        assert handle_request(("release", "ghost"), PayloadRegistry()) == ("ok", None)
+
+    def test_unknown_op_and_malformed_frames_reply_err(self):
+        for bad in (("warp", 1), "just-a-string", ()):
+            reply = handle_request(bad, PayloadRegistry())
+            assert reply[0] == "err"
+
+
+# ------------------------------------------------------- daemons over TCP
+
+
+@network
+class TestWorkerServer:
+    def test_ping_broadcast_map_on_release_cycle(self):
+        with WorkerServer().serve_in_thread() as server:
+            channel = connect(server.host, server.port)
+            assert request(channel, ("ping",)) == "pong"
+            request(channel, ("broadcast", "base", dumps(10)))
+            assert request(channel, ("map_on", "base", _plus, [1, 2])) == [11, 12]
+            assert server.registry.keys() == ("base",)
+            request(channel, ("release", "base"))
+            assert server.registry.keys() == ()
+            channel.close()
+
+    def test_partial_frame_does_not_poison_the_daemon(self):
+        with WorkerServer().serve_in_thread() as server:
+            good = connect(server.host, server.port)
+            request(good, ("broadcast", "base", dumps(5)))
+            # a client dies mid-frame on a second connection
+            evil = connect(server.host, server.port)
+            body = dumps(("map_on", "base", _plus, [1]))
+            evil.send_raw(struct.pack(">Q", len(body)) + body[: len(body) // 2])
+            evil.close()
+            # the daemon dropped only that connection; state intact
+            assert request(good, ("map_on", "base", _plus, [1])) == [6]
+            good.close()
+
+    def test_task_exception_leaves_connection_usable(self):
+        with WorkerServer().serve_in_thread() as server:
+            channel = connect(server.host, server.port)
+            request(channel, ("broadcast", "base", dumps(0)))
+            with pytest.raises(ValueError, match="exploded"):
+                request(channel, ("map_on", "base", _boom, [1]))
+            assert request(channel, ("ping",)) == "pong"
+            channel.close()
+
+    def test_shutdown_op_stops_the_daemon(self):
+        server = WorkerServer().serve_in_thread()
+        channel = connect(server.host, server.port)
+        assert request(channel, ("shutdown",)) is None
+        channel.close()
+        with pytest.raises(TransportError, match="connect"):
+            connect(server.host, server.port, timeout=0.5)
+        server.close()
+
+    def test_payload_cap_evicts_and_replies_stale(self):
+        with WorkerServer(payload_cap=2).serve_in_thread() as server:
+            channel = connect(server.host, server.port)
+            for index in range(3):
+                request(channel, ("broadcast", f"k{index}", dumps(index)))
+            assert server.registry.keys() == ("k1", "k2")
+            with pytest.raises(StaleBroadcast):
+                request(channel, ("map_on", "k0", _plus, [0]))
+            channel.close()
+
+
+@network
+class TestSubprocessDaemon:
+    def test_python_m_repro_worker_serves_lanes_and_survivors_cover_a_kill(self):
+        with SubprocessWorker() as sub, WorkerServer().serve_in_thread() as local:
+            executor = RemoteExecutor([sub.address, local.address])
+            executor.broadcast("base", 1000)
+            assert executor.map_on("base", _plus, list(range(6))) == [
+                1000 + i for i in range(6)
+            ]
+            sub.kill()  # SIGKILL the real process
+            assert executor.map_on("base", _plus, list(range(6))) == [
+                1000 + i for i in range(6)
+            ]
+            assert executor.live_workers() == [local.address]
+            executor.close()
+
+
+# ------------------------------------------------------------ remote lanes
+
+
+@network
+class TestRemoteExecutor:
+    def test_lane_contract_matches_serial_bitwise(self):
+        rng = np.random.default_rng(3)
+        payload = rng.random((16, 16))
+        tasks = [rng.random(16) for _ in range(10)]
+        serial = SerialExecutor()
+        serial.broadcast("m", payload)
+        expected = serial.map_on("m", _dot, tasks)
+        with remote_pool(2) as (executor, _):
+            executor.broadcast("m", payload)
+            out = executor.map_on("m", _dot, tasks)
+        for got, want in zip(out, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_map_on_preserves_task_order(self):
+        with remote_pool(3) as (executor, _):
+            executor.broadcast("base", 0)
+            tasks = list(range(64))
+            assert executor.map_on("base", _plus, tasks) == tasks
+
+    def test_map_tasks_round_robins_and_preserves_order(self):
+        with remote_pool(2) as (executor, servers):
+            assert executor.map_tasks(_double, list(range(9))) == [
+                2 * i for i in range(9)
+            ]
+            # both lanes actually served tasks
+            assert all(s.op_counts.get("map_tasks", 0) >= 1 for s in servers)
+
+    def test_map_chunks_covers_the_range(self):
+        with remote_pool(2) as (executor, _):
+            out = executor.map_chunks(_chunk_to_list, 7)
+            assert sorted(v for piece in out for v in piece) == list(range(7))
+
+    def test_broadcast_ships_once_then_map_on_is_small(self):
+        with remote_pool(2) as (executor, servers):
+            executor.broadcast("plan", np.zeros(1 << 16))
+            first_broadcast = executor.broadcast_sent_bytes
+            assert first_broadcast > (1 << 16) * 8  # payload went to both lanes
+            for _ in range(5):
+                executor.map_on("plan", _shape_of, [0, 1])
+            assert executor.broadcast_sent_bytes == first_broadcast
+            assert all(s.op_counts.get("broadcast") == 1 for s in servers)
+
+    def test_map_on_unknown_key_raises_before_touching_the_network(self):
+        with worker_fleet(1) as servers:
+            executor = RemoteExecutor([servers[0].address])
+            with pytest.raises(ConfigurationError, match="no broadcast state"):
+                executor.map_on("ghost", _plus, [1])
+            assert executor.sent_bytes == 0  # never connected
+            executor.close()
+
+    def test_rebroadcast_replaces_payload_on_the_daemons(self):
+        with remote_pool(2) as (executor, _):
+            executor.broadcast("base", 10)
+            assert executor.map_on("base", _plus, [0]) == [10]
+            executor.broadcast("base", 100)
+            assert executor.map_on("base", _plus, [0]) == [100]
+
+    def test_worker_side_eviction_recovers_via_rebroadcast(self):
+        with remote_pool(1, payload_cap=1) as (executor, servers):
+            executor.broadcast("k1", 1)
+            executor.broadcast("k2", 2)  # daemon cap 1: k1 evicted there
+            assert executor.map_on("k1", _plus, [0]) == [1]  # stale -> re-send
+            assert servers[0].op_counts["broadcast"] == 3
+
+    def test_release_clears_daemon_and_client_state(self):
+        with remote_pool(2) as (executor, servers):
+            executor.broadcast("base", 1)
+            executor.map_on("base", _plus, [1])
+            executor.release("base")
+            assert all(len(s.registry) == 0 for s in servers)
+            with pytest.raises(ConfigurationError, match="no broadcast state"):
+                executor.map_on("base", _plus, [1])
+
+    def test_close_releases_worker_state_and_is_idempotent(self):
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor([s.address for s in servers])
+            executor.broadcast("base", 1)
+            executor.map_on("base", _plus, [1, 2])
+            executor.close()
+            executor.close()  # idempotent
+            assert all(len(s.registry) == 0 for s in servers)
+            with pytest.raises(ConfigurationError, match="remote executor"):
+                executor.map_on("base", _plus, [1])
+            with pytest.raises(ConfigurationError, match="remote executor"):
+                executor.broadcast("other", 2)
+
+    def test_all_workers_dead_raises_transport_error(self):
+        with remote_pool(2) as (executor, servers):
+            executor.broadcast("base", 1)
+            for server in servers:
+                server.kill()
+            with pytest.raises(TransportError, match="all remote workers"):
+                executor.map_on("base", _plus, list(range(4)))
+
+    # ------------------------------------------------------ injected faults
+
+    def test_connection_drop_reconnects_and_recovers(self):
+        """A dropped connection (daemon alive) heals: reconnect, retry."""
+        with worker_fleet(2) as servers:
+            factory = faulty_lane_factory(
+                {(0, 0): FaultSchedule(drop_send_at=[1])}  # lane 0, 1st conn
+            )
+            executor = RemoteExecutor(
+                [s.address for s in servers], channel_factory=factory
+            )
+            executor.broadcast("base", 10)
+            assert executor.map_on("base", _plus, list(range(8))) == [
+                10 + i for i in range(8)
+            ]
+            # the lane healed: both workers stay live
+            assert len(executor.live_workers()) == 2
+            executor.close()
+
+    def test_truncated_frame_is_retried_without_poisoning_state(self):
+        with worker_fleet(2) as servers:
+            factory = faulty_lane_factory(
+                {(1, 0): FaultSchedule(truncate_send_at=[1])}
+            )
+            executor = RemoteExecutor(
+                [s.address for s in servers], channel_factory=factory
+            )
+            executor.broadcast("base", 5)
+            assert executor.map_on("base", _plus, list(range(8))) == [
+                5 + i for i in range(8)
+            ]
+            assert len(executor.live_workers()) == 2
+            executor.close()
+
+    def test_lost_reply_recomputes_on_retry(self):
+        """The daemon executed the tasks but the reply died: recompute."""
+        with worker_fleet(2) as servers:
+            factory = faulty_lane_factory(
+                {(0, 0): FaultSchedule(drop_recv_at=[1])}
+            )
+            executor = RemoteExecutor(
+                [s.address for s in servers], channel_factory=factory
+            )
+            executor.broadcast("base", 0)
+            assert executor.map_on("base", _plus, list(range(8))) == list(range(8))
+            executor.close()
+
+    def test_task_exception_is_not_retried_as_a_lane_failure(self):
+        with remote_pool(2) as (executor, servers):
+            executor.broadcast("base", 0)
+            with pytest.raises(ValueError, match="exploded"):
+                executor.map_on("base", _boom, [1, 2])
+            # the lanes survive a task bug
+            assert len(executor.live_workers()) == 2
+
+    def test_degree_tracks_live_lanes_through_kills_and_replacements(self):
+        """The auto backend sizes shard counts from ``degree``: it must
+        reflect real capacity, not the configured lane list."""
+        with worker_fleet(3) as servers:
+            executor = RemoteExecutor([s.address for s in servers[:2]])
+            assert executor.degree == 2
+            executor.broadcast("base", 0)
+            servers[0].kill()
+            executor.map_on("base", _plus, list(range(4)))  # excludes lane 0
+            assert executor.degree == 1
+            executor.add_worker(servers[2].address)
+            assert executor.degree == 2
+            executor.close()
+
+    def test_daemon_prunes_finished_connection_threads(self):
+        with worker_fleet(1) as servers:
+            for _ in range(8):
+                channel = connect(servers[0].host, servers[0].port)
+                assert request(channel, ("ping",)) == "pong"
+                channel.close()
+            # give the handler threads a beat to notice the goodbyes
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                alive = [t for t in servers[0]._threads if t.is_alive()]
+                if len(servers[0]._threads) <= 2 and not alive:
+                    break
+                time.sleep(0.02)
+            assert len(servers[0]._threads) <= 2  # not one per connection
+
+    def test_short_reply_excludes_the_lane_instead_of_hanging(self, monkeypatch):
+        """A daemon violating the reply-shape contract (fewer results than
+        tasks) must be distrusted and excluded — never zip-truncated into
+        an endless silent re-dispatch loop."""
+        from repro.utils import transport as transport_module
+
+        real = transport_module.handle_request
+        with worker_fleet(2) as servers:
+            evil_registry = servers[0].registry
+
+            def evil(message, registry):
+                reply = real(message, registry)
+                if (
+                    registry is evil_registry
+                    and message[0] == "map_tasks"
+                    and reply[0] == "ok"
+                    and len(reply[1]) > 1
+                ):
+                    return ("ok", reply[1][:-1])  # drop one result
+                return reply
+
+            monkeypatch.setattr(transport_module, "handle_request", evil)
+            executor = RemoteExecutor([s.address for s in servers])
+            assert executor.map_tasks(_double, list(range(8))) == [
+                2 * i for i in range(8)
+            ]
+            assert executor.live_workers() == [servers[1].address]
+            executor.close()
+
+    def test_malformed_err_envelope_excludes_the_lane(self, monkeypatch):
+        from repro.utils import transport as transport_module
+
+        real = transport_module.handle_request
+        with worker_fleet(2) as servers:
+            evil_registry = servers[0].registry
+
+            def evil(message, registry):
+                if registry is evil_registry and message[0] == "map_tasks":
+                    return ("err", "boom")  # wrong arity: protocol violation
+                return real(message, registry)
+
+            monkeypatch.setattr(transport_module, "handle_request", evil)
+            executor = RemoteExecutor([s.address for s in servers])
+            assert executor.map_tasks(_double, list(range(6))) == [
+                2 * i for i in range(6)
+            ]
+            assert executor.live_workers() == [servers[1].address]
+            executor.close()
+
+    def test_rebroadcast_err_reply_does_not_desync_other_lanes(self, monkeypatch):
+        """A worker 'err' reply to an in-dispatch re-broadcast raises, but
+        only after every already-sent lane was drained — the next call on
+        those lanes must not read this call's leftover replies."""
+        from repro.utils import transport as transport_module
+
+        real = transport_module.handle_request
+        with worker_fleet(2) as servers:
+            evil_registry = servers[1].registry
+            broadcasts = {"count": 0}
+
+            def evil(message, registry):
+                if registry is evil_registry and message[0] == "map_on":
+                    return ("stale", message[1])  # claim the key is gone
+                if registry is evil_registry and message[0] == "broadcast":
+                    broadcasts["count"] += 1
+                    if broadcasts["count"] > 1:
+                        return (
+                            "err",
+                            ValueError("refusing re-broadcast"),
+                            "fake traceback",
+                        )
+                return real(message, registry)
+
+            monkeypatch.setattr(transport_module, "handle_request", evil)
+            executor = RemoteExecutor([s.address for s in servers])
+            executor.broadcast("base", 100)
+            with pytest.raises(ValueError, match="refusing re-broadcast"):
+                executor.map_on("base", _plus, list(range(8)))
+            # lane 0 was mid-pipeline when the error surfaced: its channel
+            # must still be frame-aligned
+            assert executor.map_tasks(_double, list(range(6))) == [
+                2 * i for i in range(6)
+            ]
+            executor.close()
+
+    def test_add_worker_receives_rebroadcast_lazily(self):
+        with worker_fleet(3) as servers:
+            executor = RemoteExecutor([s.address for s in servers[:2]])
+            executor.broadcast("base", 7)
+            servers[0].kill()
+            executor.add_worker(servers[2].address)
+            assert executor.map_on("base", _plus, list(range(6))) == [
+                7 + i for i in range(6)
+            ]
+            assert servers[2].op_counts.get("broadcast") == 1
+            executor.close()
+
+
+# --------------------------------------------------------- factory plumbing
+
+
+@network
+class TestRemoteFactory:
+    def test_make_executor_remote_builds_lanes(self):
+        with worker_fleet(2) as servers:
+            executor = make_executor(
+                "remote", workers=[s.address for s in servers]
+            )
+            assert isinstance(executor, RemoteExecutor)
+            assert executor.degree == 2
+            executor.close()
+
+    def test_degree_caps_the_worker_list(self):
+        with worker_fleet(2) as servers:
+            executor = make_executor(
+                "remote", 1, workers=[s.address for s in servers]
+            )
+            assert executor.degree == 1
+            executor.close()
+
+
+class TestRemoteFactoryValidation:
+    def test_remote_without_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="worker address"):
+            make_executor("remote")
+        with pytest.raises(ConfigurationError, match="worker address"):
+            RemoteExecutor([])
+
+    def test_workers_on_local_kinds_rejected(self):
+        with pytest.raises(ConfigurationError, match="remote"):
+            make_executor("thread", 2, workers=["h:1"])
+
+    def test_bad_addresses_rejected_eagerly(self):
+        with pytest.raises(ValidationError):
+            RemoteExecutor(["no-port"])
+
+
+def _chunk_to_list(chunk):
+    return list(chunk)
+
+
+def _shape_of(payload, task):
+    return payload.shape[0] + task

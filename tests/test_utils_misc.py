@@ -225,6 +225,170 @@ class TestStatefulLanes:
             assert ex.map_on("base", _payload_plus, tasks) == tasks
 
 
+class TestFactoryDegreeValidation:
+    """make_executor must reject degree < 1 loudly for *every* kind.
+
+    The serial backend used to swallow a nonsensical degree silently (it
+    ignores the argument), so misconfiguration only surfaced when the
+    same flags were later pointed at a pool backend."""
+
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    @pytest.mark.parametrize("bad_degree", [0, -3])
+    def test_degree_below_one_rejected_naming_the_kind(self, kind, bad_degree):
+        workers = ["127.0.0.1:9"] if kind == "remote" else None
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_executor(kind, bad_degree, workers=workers)
+        message = str(excinfo.value)
+        assert kind in message and "degree" in message
+
+    def test_valid_degree_still_builds(self):
+        with make_executor("thread", 1) as ex:
+            assert ex.degree == 1
+
+
+class TestCloseIdempotency:
+    """Executor.close() must be safe to call any number of times."""
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_close_twice_after_broadcast(self, kind):
+        ex = make_executor(kind, 2)
+        ex.broadcast("base", [1, 2, 3])
+        ex.close()
+        ex.close()  # second close: no raise, no double-free
+        with pytest.raises(ConfigurationError, match=f"{kind} executor"):
+            ex.broadcast("other", 1)
+
+    def test_thread_close_twice_after_pool_use(self):
+        ex = ThreadExecutor(2)
+        assert ex.map_tasks(_double_task, [1, 2]) == [2, 4]
+        ex.close()
+        ex.close()
+        assert ex._pool is None
+
+    def test_process_close_twice_releases_scratch_once(self):
+        import os
+
+        ex = ProcessExecutor(2)
+        ex.broadcast("base", {"k": 1})  # spills without spawning workers
+        scratch = ex._scratch_dir
+        assert scratch is not None and os.path.isdir(scratch)
+        ex.close()
+        assert not os.path.exists(scratch)
+        ex.close()  # finalizer already ran; must not raise
+        assert ex._scratch_dir is None
+
+    def test_remote_close_twice_without_ever_connecting(self):
+        from repro.utils.parallel import RemoteExecutor
+
+        ex = RemoteExecutor(["127.0.0.1:9"])  # lazy: no connection made
+        ex.close()
+        ex.close()
+        with pytest.raises(ConfigurationError, match="remote executor"):
+            ex.map_tasks(_double_task, [1])
+
+
+class TestWorkerPayloadLRU:
+    """The process-pool worker-side registry (PR 3) pinned down:
+    insertion-ordered LRU with touch-on-use, bounded by the cap, with
+    spill-file reload for evicted-but-readdressed payloads."""
+
+    def _spill(self, tmp_path, name, value):
+        import pickle as pkl
+
+        path = tmp_path / name
+        path.write_bytes(pkl.dumps(value, protocol=pkl.HIGHEST_PROTOCOL))
+        return str(path)
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        from repro.utils import parallel
+
+        parallel._WORKER_PAYLOADS.clear()
+        yield
+        parallel._WORKER_PAYLOADS.clear()
+
+    def test_eviction_drops_oldest_and_touch_refreshes(self, tmp_path, monkeypatch):
+        from repro.utils import parallel
+
+        monkeypatch.setattr(parallel, "_WORKER_PAYLOAD_CAP", 2)
+        paths = [self._spill(tmp_path, f"b{i}.pkl", i * 10) for i in range(3)]
+        assert parallel._resident_call(paths[0], "k0", _payload_plus, 1) == 1
+        assert parallel._resident_call(paths[1], "k1", _payload_plus, 1) == 11
+        # touch p0: it becomes most recent, so p1 is now the oldest
+        assert parallel._resident_call(paths[0], "k0", _payload_plus, 2) == 2
+        assert list(parallel._WORKER_PAYLOADS) == [paths[1], paths[0]]
+        # a third payload evicts p1 (the oldest), not the just-touched p0
+        assert parallel._resident_call(paths[2], "k2", _payload_plus, 1) == 21
+        assert list(parallel._WORKER_PAYLOADS) == [paths[0], paths[2]]
+
+    def test_evicted_payload_reloads_from_its_spill_file(self, tmp_path, monkeypatch):
+        from repro.utils import parallel
+
+        monkeypatch.setattr(parallel, "_WORKER_PAYLOAD_CAP", 1)
+        first = self._spill(tmp_path, "b1.pkl", 100)
+        second = self._spill(tmp_path, "b2.pkl", 200)
+        assert parallel._resident_call(first, "k1", _payload_plus, 0) == 100
+        assert parallel._resident_call(second, "k2", _payload_plus, 0) == 200
+        assert list(parallel._WORKER_PAYLOADS) == [second]
+        # first was evicted but its spill file still exists: reload works
+        assert parallel._resident_call(first, "k1", _payload_plus, 5) == 105
+
+    def test_missing_spill_file_raises_the_rebroadcast_error(self, tmp_path):
+        import os
+
+        from repro.utils import parallel
+
+        path = self._spill(tmp_path, "gone.pkl", 1)
+        os.unlink(path)
+        with pytest.raises(ConfigurationError, match="re-broadcast"):
+            parallel._resident_call(path, "k", _payload_plus, 0)
+
+
+class TestBroadcastStateCleanup:
+    """PR 3 surfaces pinned: spill-file cleanup on garbage collection and
+    the silence of double/late releases."""
+
+    def test_gc_without_close_removes_spill_files(self):
+        import gc
+        import os
+
+        ex = ProcessExecutor(2)
+        ex.broadcast("plan", list(range(50)))
+        ex.broadcast("plan", list(range(60)))  # re-broadcast: fresh spill
+        scratch = ex._scratch_dir
+        assert scratch is not None and len(os.listdir(scratch)) == 1
+        del ex
+        gc.collect()
+        assert not os.path.exists(scratch)
+
+    def test_release_broadcast_with_already_evicted_key_is_silent(self):
+        """sharding._release_broadcast hits executors whose state may be
+        long gone (closed pools, keys already released) — every combination
+        must stay a no-op, because finalizers run at unpredictable times."""
+        import weakref
+
+        from repro.core.sharding import _release_broadcast
+
+        live = SerialExecutor()
+        live.broadcast("plan", 1)
+        evicted = SerialExecutor()  # never held the key
+        closed = SerialExecutor()
+        closed.broadcast("plan", 2)
+        closed.close()
+        executors = weakref.WeakSet((live, evicted, closed))
+        _release_broadcast(executors, "plan")
+        assert live._resident == {}
+        _release_broadcast(executors, "plan")  # double release: still silent
+        _release_broadcast(weakref.WeakSet(), "plan")  # empty set: silent
+
+    def test_release_on_closed_process_executor_is_silent(self):
+        ex = ProcessExecutor(2)
+        ex.broadcast("plan", 1)
+        ex.close()
+        ex.release("plan")  # state already evicted by close()
+        ex.release("never-was")
+
+
 class TestTables:
     def test_basic_layout(self):
         out = format_table(("a", "bb"), [(1, 2.5), (10, 0.125)])

@@ -1,0 +1,255 @@
+"""Loopback harness for the multi-node lane transport tests.
+
+Spawns *real* worker daemons — :class:`~repro.utils.transport.WorkerServer`
+on in-process background threads for speed, or ``python -m repro.worker``
+subprocesses for full process isolation — and provides deterministic
+fault injection at the channel seam:
+
+* :class:`FaultyChannel` wraps a live :class:`~repro.utils.transport.Channel`
+  and injects, at exact request indices, connection drops (the frame
+  never leaves), truncated frames (the daemon sees a mid-frame EOF), and
+  lost replies (the daemon executed the task but the reply dies on the
+  wire).  Faults are keyed by per-channel operation counters, so a test
+  replays identically every run — no timing races.
+* :func:`faulty_lane_factory` turns a fault schedule into the
+  ``channel_factory`` hook of :class:`~repro.utils.parallel.RemoteExecutor`,
+  targeting specific (lane, connection-attempt) pairs.
+* :class:`KillAfterMapOn` kills a chosen daemon after the N-th ``map_on``
+  dispatch — the deterministic "worker dies mid-sweep" scenario (a sweep
+  issues several ``map_on`` calls, so killing between them interrupts
+  the sweep with partial state already merged).
+
+This module is imported by the transport/chaos tests; it is not itself a
+test module.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TransportError
+from repro.utils.parallel import RemoteExecutor
+from repro.utils.transport import Channel, WorkerServer, connect, dumps
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------- in-process pool
+
+
+@contextlib.contextmanager
+def worker_fleet(n: int, payload_cap: int = 8) -> Iterator[List[WorkerServer]]:
+    """``n`` in-process worker daemons, each on its own loopback port."""
+    servers = [
+        WorkerServer(payload_cap=payload_cap).serve_in_thread() for _ in range(n)
+    ]
+    try:
+        yield servers
+    finally:
+        for server in servers:
+            server.close()
+
+
+@contextlib.contextmanager
+def remote_pool(
+    n: int, payload_cap: int = 8, **executor_kwargs
+) -> Iterator[Tuple[RemoteExecutor, List[WorkerServer]]]:
+    """A :class:`RemoteExecutor` over ``n`` fresh in-process daemons."""
+    with worker_fleet(n, payload_cap=payload_cap) as servers:
+        executor = RemoteExecutor(
+            [server.address for server in servers], **executor_kwargs
+        )
+        try:
+            yield executor, servers
+        finally:
+            executor.close()
+
+
+# ------------------------------------------------------- subprocess daemons
+
+
+class SubprocessWorker:
+    """One ``python -m repro.worker`` daemon in its own process."""
+
+    def __init__(self, payload_cap: int = 8, startup_timeout: float = 20.0) -> None:
+        self._port_dir = tempfile.mkdtemp(prefix="repro-worker-")
+        port_file = os.path.join(self._port_dir, "port")
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.worker",
+                "--listen",
+                "127.0.0.1:0",
+                "--port-file",
+                port_file,
+                "--payload-cap",
+                str(payload_cap),
+            ],
+            env=env,
+            # cwd at the repo root so task functions defined in test
+            # modules unpickle on the daemon (`tests.` is importable).
+            cwd=str(REPO_ROOT),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + startup_timeout
+        while time.monotonic() < deadline:
+            if os.path.exists(port_file) and os.path.getsize(port_file) > 0:
+                break
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"worker daemon exited early (code {self.proc.returncode})"
+                )
+            time.sleep(0.02)
+        else:
+            self.kill()
+            raise RuntimeError("worker daemon did not announce its port in time")
+        self.address = Path(port_file).read_text(encoding="utf-8").strip()
+
+    def kill(self) -> None:
+        """SIGKILL — the real thing, not a simulation."""
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+    def close(self) -> None:
+        self.kill()
+        with contextlib.suppress(OSError):
+            for name in os.listdir(self._port_dir):
+                os.unlink(os.path.join(self._port_dir, name))
+            os.rmdir(self._port_dir)
+
+    def __enter__(self) -> "SubprocessWorker":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------- fault injection
+
+
+class FaultSchedule:
+    """Deterministic fault plan for one channel (connection attempt).
+
+    Indices count the channel's ``send``/``recv`` calls from 0; the
+    matching call fails exactly once, after which the connection is dead
+    (as a real broken connection would be).
+    """
+
+    def __init__(
+        self,
+        drop_send_at: Sequence[int] = (),
+        truncate_send_at: Sequence[int] = (),
+        drop_recv_at: Sequence[int] = (),
+    ) -> None:
+        self.drop_send_at = frozenset(drop_send_at)
+        self.truncate_send_at = frozenset(truncate_send_at)
+        self.drop_recv_at = frozenset(drop_recv_at)
+
+
+class FaultyChannel(Channel):
+    """A :class:`Channel` that fails on schedule.
+
+    * *drop* — the socket closes before the frame leaves: the daemon
+      never sees the request.
+    * *truncate* — half the frame leaves, then the socket closes: the
+      daemon reads a mid-frame EOF and must drop the connection without
+      corrupting its registry.
+    * *recv drop* — the request was delivered and executed, but the
+      reply is lost: the client must retry the tasks elsewhere (task
+      functions are pure, so recomputing is bitwise-identical).
+    """
+
+    def __init__(self, sock, schedule: FaultSchedule) -> None:
+        super().__init__(sock)
+        self._schedule = schedule
+        self._sends = 0
+        self._recvs = 0
+
+    def send(self, message: object) -> None:
+        index = self._sends
+        self._sends += 1
+        if index in self._schedule.drop_send_at:
+            self.close()
+            raise TransportError(f"injected drop before send #{index}")
+        if index in self._schedule.truncate_send_at:
+            body = dumps(message)
+            frame = struct.pack(">Q", len(body)) + body
+            with contextlib.suppress(TransportError):
+                self.send_raw(frame[: max(4, len(frame) // 2)])
+            self.close()
+            raise TransportError(f"injected truncation at send #{index}")
+        super().send(message)
+
+    def recv(self):
+        index = self._recvs
+        self._recvs += 1
+        if index in self._schedule.drop_recv_at:
+            self.close()
+            raise TransportError(f"injected drop before recv #{index}")
+        return super().recv()
+
+
+def faulty_lane_factory(
+    faults: Dict[Tuple[int, int], FaultSchedule],
+    connect_timeout: float = 5.0,
+):
+    """``channel_factory`` injecting faults at (lane, connection-attempt).
+
+    ``faults[(lane_index, attempt)]`` is applied to that lane's
+    ``attempt``-th connection (0 = the first); unlisted connections get
+    plain channels, so a faulted lane heals on reconnect.
+    """
+    attempts: Dict[int, int] = {}
+
+    def factory(lane_index: int, host: str, port: int):
+        attempt = attempts.get(lane_index, 0)
+        attempts[lane_index] = attempt + 1
+        channel = connect(host, port, timeout=connect_timeout)
+        schedule = faults.get((lane_index, attempt))
+        if schedule is None:
+            return channel
+        sock = channel._sock
+        return FaultyChannel(sock, schedule)
+
+    return factory
+
+
+# ------------------------------------------------------------ chaos drivers
+
+
+class KillAfterMapOn(RemoteExecutor):
+    """Kill a daemon after the N-th ``map_on`` dispatch (then count on).
+
+    A batch-VI sweep issues several ``map_on`` calls (worker scores,
+    item scores, cell statistics), so ``kill_after=1`` on sweep *k*
+    murders the worker between two lane calls of the same sweep — the
+    deterministic mid-sweep crash.
+    """
+
+    def __init__(self, workers, victim: WorkerServer, kill_after: int, **kwargs):
+        super().__init__(workers, **kwargs)
+        self._victim = victim
+        self._kill_after = int(kill_after)
+        self.map_on_calls = 0
+
+    def map_on(self, key, func, tasks):
+        if self.map_on_calls == self._kill_after:
+            self._victim.kill()
+        self.map_on_calls += 1
+        return super().map_on(key, func, tasks)
