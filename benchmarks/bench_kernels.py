@@ -57,6 +57,13 @@ N_LABELS = 12
 #: shard count of the tracked sharded-backend configuration.
 SHARDED_K = 4
 
+#: wide-sparse scenario (DESIGN.md §6 "Shard-local truncation"): many
+#: items, ~2 answers per item, few distinct label patterns — the regime
+#: where per-shard truncations bind.
+WIDE_SPARSE_ITEMS = 30_000
+WIDE_SPARSE_ANSWERS_PER_ITEM = 2
+WIDE_SPARSE_K = 8
+
 
 def build_matrix(
     n_answers: int,
@@ -96,6 +103,113 @@ def build_matrix(
     for item, worker, pattern in zip(items, workers, assignment):
         matrix.add(int(item), int(worker), pool[pattern])
     return matrix
+
+
+def build_wide_sparse_matrix(
+    n_items: int = WIDE_SPARSE_ITEMS,
+    *,
+    answers_per_item: int = WIDE_SPARSE_ANSWERS_PER_ITEM,
+    n_labels: int = N_LABELS,
+    pattern_pool: int = 8,
+    seed: int = 0,
+) -> AnswerMatrix:
+    """A wide-but-sparse matrix: every item answered, but only barely.
+
+    Label sets come from a small pool of 1–2-label patterns, so the
+    distinct per-item answer profiles of any item range stay few — the
+    shape that makes shard-local truncations (``T_s < T``) bind.
+    """
+    rng = np.random.default_rng(seed)
+    n_workers = max(10, (n_items * answers_per_item) // 40)
+    pool: List[tuple] = []
+    seen = set()
+    while len(pool) < pattern_pool:
+        size = int(rng.integers(1, 3))
+        labels = tuple(sorted(rng.choice(n_labels, size=size, replace=False)))
+        if labels not in seen:
+            seen.add(labels)
+            pool.append(labels)
+    weights = 1.0 / np.arange(1, len(pool) + 1)
+    weights /= weights.sum()
+
+    matrix = AnswerMatrix(n_items, n_workers, n_labels)
+    for item in range(n_items):
+        workers = rng.choice(n_workers, size=answers_per_item, replace=False)
+        patterns = rng.choice(len(pool), size=answers_per_item, p=weights)
+        for worker, pattern in zip(workers, patterns):
+            matrix.add(item, int(worker), pool[pattern])
+    return matrix
+
+
+def _shard_statistics_bytes(kernel, n_clusters: int, n_communities: int) -> int:
+    """Bytes of per-shard truncation-sized working state across one sweep.
+
+    Per shard: the Eq. 6 sufficient statistics (``(T_s, M, C)`` counts
+    plus ``(T_s, M)`` mass) and the pattern-space likelihood tensor
+    (``(P_s, T_s, M)``) — exactly the arrays whose cluster axis
+    shard-local truncation shrinks.  Deterministic, so the recorded
+    reduction is noise-free.
+    """
+    itemsize = np.dtype(kernel.dtype).itemsize
+    n_labels = kernel.n_labels
+    total = 0
+    for shard, t_s in zip(kernel.plan.shards, kernel._shard_ts(n_clusters)):
+        total += t_s * n_communities * (n_labels + 1) * itemsize
+        total += shard.kernel.n_patterns * t_s * n_communities * itemsize
+    return total
+
+
+def bench_wide_sparse(
+    *,
+    sweeps: int = 2,
+    dtype: str = "float64",
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Adaptive vs global truncation on the wide-sparse sharded scenario.
+
+    Records one batch-VI sweep (serial, ``WIDE_SPARSE_K`` shards) under
+    shard-local truncation adaptation and under the global truncation,
+    plus the per-shard statistics bytes each pays — the memory reduction
+    the adaptation exists for.  The acceptance bar (ISSUE 5): bytes down,
+    sweep time no worse.
+    """
+    matrix = build_wide_sparse_matrix(seed=seed)
+    config = CPAConfig(
+        seed=seed,
+        dtype=dtype,
+        backend="sharded",
+        n_shards=WIDE_SPARSE_K,
+        adaptive_truncation="auto",  # the gate engages: wide and sparse
+    )
+    adaptive = VariationalInference(config, matrix)
+    global_t = VariationalInference(
+        config.with_overrides(adaptive_truncation="off"), matrix
+    )
+    t, m = adaptive.state.n_clusters, adaptive.state.n_communities
+    shard_ts = adaptive.kernel._shard_ts(t)
+
+    adaptive_sweep = _time_calls(adaptive.sweep, sweeps)
+    global_sweep = _time_calls(global_t.sweep, sweeps)
+    adaptive_bytes = _shard_statistics_bytes(adaptive.kernel, t, m)
+    global_bytes = _shard_statistics_bytes(global_t.kernel, t, m)
+    return {
+        "n_answers": int(matrix.n_answers),
+        "n_items": int(matrix.n_items),
+        "n_workers": int(matrix.n_workers),
+        "n_labels": int(matrix.n_labels),
+        "n_clusters": int(t),
+        "n_communities": int(m),
+        "dtype": dtype,
+        "scenario": "wide_sparse",
+        "widesparse_n_shards": int(adaptive.kernel.n_shards),
+        "widesparse_shard_truncations": [int(t_s) for t_s in shard_ts],
+        "widesparse_adaptive_sweep_s": adaptive_sweep,
+        "widesparse_global_sweep_s": global_sweep,
+        "widesparse_sweep_ratio": adaptive_sweep / global_sweep,
+        "widesparse_adaptive_stats_bytes": int(adaptive_bytes),
+        "widesparse_global_stats_bytes": int(global_bytes),
+        "widesparse_stats_bytes_ratio": float(adaptive_bytes) / float(global_bytes),
+    }
 
 
 class _ByteCountingExecutor(Executor):
@@ -290,7 +404,9 @@ def bench_batch_sweep(
         "dtype": dtype,
         "fused_sweep_s": fused_sweep,
         "fused_elbo_s": fused_elbo,
-        "sharded_n_shards": SHARDED_K,
+        # the *realised* shard count (the plan drops empty ranges and the
+        # factory caps requests at the answered-item count), not the request
+        "sharded_n_shards": int(sharded.kernel.n_shards),
         "sharded_sweep_s": sharded_sweep,
         "sharded_elbo_s": sharded_elbo,
         "sharded_sweep_ratio": sharded_sweep / fused_sweep,
@@ -384,6 +500,10 @@ def merge_best(old: Dict[str, object], new: Dict[str, object]) -> Dict[str, obje
         "sharded_sweep_ratio": ("sharded_sweep_s", "fused_sweep_s"),
         "svi_batch_speedup": ("svi_reference_batch_s", "svi_fused_batch_s"),
         "svi_sharded_batch_ratio": ("svi_sharded_batch_s", "svi_fused_batch_s"),
+        "widesparse_sweep_ratio": (
+            "widesparse_adaptive_sweep_s",
+            "widesparse_global_sweep_s",
+        ),
     }
     for key, (numerator, denominator) in derived.items():
         if numerator in merged and denominator in merged:
@@ -399,8 +519,15 @@ def run_suite(
     seed: int = 0,
     verbose: bool = True,
     include_reference: bool = True,
+    include_wide_sparse: bool = True,
 ) -> List[Dict[str, object]]:
-    """Benchmark every answer volume; returns one record per size."""
+    """Benchmark every answer volume; returns one record per size.
+
+    ``include_wide_sparse`` appends the wide-sparse shard-local
+    truncation case (:func:`bench_wide_sparse`) as an extra record with
+    its own answer volume; regression re-measurements that only target
+    the standard sizes pass ``False``.
+    """
     records: List[Dict[str, object]] = []
     for n_answers in sizes:
         record = bench_batch_sweep(
@@ -443,5 +570,16 @@ def run_suite(
                 f"N={record['n_answers']:>7d}  P={record['n_patterns']:>4d}  "
                 f"fused sweep {record['fused_sweep_s']:.3f}s  "
                 f"sharded sweep {record['sharded_sweep_ratio']:.2f}x fused"
+            )
+    if include_wide_sparse:
+        record = bench_wide_sparse(sweeps=sweeps, dtype=dtype, seed=seed)
+        records.append(record)
+        if verbose:
+            print(
+                f"N={record['n_answers']:>7d}  wide-sparse  "
+                f"adaptive sweep {record['widesparse_sweep_ratio']:.2f}x global  "
+                f"stats bytes {record['widesparse_stats_bytes_ratio']:.2f}x "
+                f"(T_s={record['widesparse_shard_truncations']}, "
+                f"T={record['n_clusters']})"
             )
     return records

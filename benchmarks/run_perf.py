@@ -106,6 +106,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         run_check,
     )
     from repro.core.kernels import (
+        ADAPTIVE_MAX_ANSWERS_PER_ITEM,
+        ADAPTIVE_MIN_ITEMS,
         SHARDED_ANSWERS_PER_SHARD,
         SHARDED_MAX_AUTO_SHARDS,
         SHARDED_MIN_ANSWERS,
@@ -143,6 +145,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "sharded_min_answers_parallel": SHARDED_MIN_ANSWERS_PARALLEL,
             "answers_per_shard": SHARDED_ANSWERS_PER_SHARD,
             "max_auto_shards": SHARDED_MAX_AUTO_SHARDS,
+            # the adaptive_truncation="auto" gate (shard-local truncation)
+            "adaptive_min_items": ADAPTIVE_MIN_ITEMS,
+            "adaptive_max_answers_per_item": ADAPTIVE_MAX_ANSWERS_PER_ITEM,
         },
         "results": records,
     }
@@ -162,13 +167,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # Records carry *realized* answer counts (build_matrix trims
             # duplicates), so map back to the requested suite sizes before
             # re-running; the re-run realizes the same counts (same seed)
-            # and merges by realized key.
+            # and merges by realized key.  The wide-sparse extra case has
+            # no requested size — it re-measures via its own flag.
             requested = {
                 int(record["n_answers"]): size
                 for size, record in zip(args.sizes, records)
             }
-            sizes = sorted({requested[c.n_answers] for c in regressions})
-            print(f"re-measuring {sizes} to confirm the regression...")
+            sizes = sorted(
+                {
+                    requested[c.n_answers]
+                    for c in regressions
+                    if c.n_answers in requested
+                }
+            )
+            widesparse_regressed = any(
+                c.n_answers not in requested for c in regressions
+            )
+            print(
+                f"re-measuring {sizes}"
+                + (" + wide-sparse" if widesparse_regressed else "")
+                + " to confirm the regression..."
+            )
             fresh = {
                 int(r["n_answers"]): r
                 for r in run_suite(
@@ -177,6 +196,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     dtype=args.dtype,
                     seed=args.seed,
                     include_reference=False,  # untracked keys: skip the slow path
+                    include_wide_sparse=widesparse_regressed,
                 )
             }
             records = [

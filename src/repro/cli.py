@@ -105,7 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="shard count for the sharded kernel backend (implies "
-        "--kernel-backend sharded; default: auto)",
+        "--kernel-backend sharded; default: auto); capped by the number "
+        "of answered items when the matrix is in hand",
+    )
+    run_parser.add_argument(
+        "--adaptive-truncation",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="shard-local truncation adaptation for the sharded kernel "
+        "backend: size each shard's cluster truncation from its own "
+        "item/answer profile ('auto' engages only on wide-but-sparse "
+        "matrices; DESIGN.md §6)",
     )
 
     stats_parser = sub.add_parser("stats", help="dataset statistics (Table 3)")
@@ -154,6 +164,8 @@ def _experiment_kwargs(args: argparse.Namespace) -> dict:
     if getattr(args, "shards", None) is not None:
         kwargs["n_shards"] = args.shards
         kwargs.setdefault("kernel_backend", "sharded")
+    if getattr(args, "adaptive_truncation", None) is not None:
+        kwargs["adaptive_truncation"] = args.adaptive_truncation
     return kwargs
 
 

@@ -17,6 +17,32 @@ import numpy as np
 from repro.errors import ConfigurationError, ValidationError
 from repro.utils.parallel import EXECUTOR_KINDS, Executor, make_executor
 
+#: legal values of :attr:`CPAConfig.adaptive_truncation`.
+ADAPTIVE_TRUNCATION_MODES = ("auto", "on", "off")
+
+
+def clamp_truncation(t: int, space: int) -> int:
+    """Clamp a truncation level ``t`` to an index space of ``space`` elements.
+
+    The contract (pinned by ``tests/test_adaptive_truncation.py``):
+
+    * a truncation never exceeds the space it truncates — ``T ≤ n_items``
+      and ``M ≤ n_workers`` always hold, so no component can be
+      structurally unreachable;
+    * spaces with at least two elements keep the historical floor of two
+      components (one stick), so symmetry breaking has room to work;
+    * degenerate spaces (one element, or an empty dataset) resolve to a
+      single component — arrays like ``ups`` become ``(0, 2)`` and the
+      stick-breaking expectations collapse to the point mass, which the
+      inference layer handles.
+
+    The seed implementation applied the clamps in the wrong order
+    (``max(2, min(t, n_items))``), returning 2 for 0- or 1-element
+    spaces — a truncation larger than the space itself.
+    """
+    floor = 2 if space >= 2 else 1
+    return max(floor, min(int(t), max(int(space), floor)))
+
 
 @dataclass(frozen=True)
 class CPAConfig:
@@ -100,7 +126,26 @@ class CPAConfig:
     n_shards:
         Shard count ``K`` for the sharded backend; ``0`` (auto) uses one
         shard per executor lane (``backend="auto"`` instead sizes K from
-        the answer volume).  Ignored by the fused backend.
+        the answer volume).  Ignored by the fused backend.  Requests are
+        capped by the number of *answered* items wherever a concrete
+        matrix is in hand (:meth:`resolve_shards` / the kernel factory):
+        a ``ShardPlan`` can never realise more shards than answered
+        items, and the realised count is what benchmarks record.
+    adaptive_truncation:
+        Shard-local truncation adaptation (DESIGN.md §6 "Shard-local
+        truncation"): when engaged, each shard of a sharded run sizes its
+        own cluster truncation ``T_s ≤ T`` from the shard's distinct
+        item-profile count (:meth:`shard_truncation` — the same
+        ``size // 4 + 2`` rule as :meth:`resolve_truncations`), pays
+        ``(T_s, M, C)`` sufficient statistics instead of ``(T, M, C)``,
+        and the engines constrain each item's cluster posterior to its
+        shard's window.  ``"auto"`` (default) engages only when the
+        backend is sharded **and** the matrix is wide-but-sparse
+        (:func:`repro.core.kernels.adaptive_pays_off`); ``"on"`` engages
+        for every sharded run; ``"off"`` disables it.  When no shard's
+        ``T_s`` falls below the global ``T`` the path is bitwise
+        identical to the global-truncation one; when it binds, results
+        carry a documented approximation (the constrained family).
     resident_shards:
         When true (default), a sharded run broadcasts its shard kernels
         to the executor's lanes **once per plan** and per-sweep tasks
@@ -153,6 +198,7 @@ class CPAConfig:
     dtype: str = "float64"
     backend: str = "fused"
     n_shards: int = 0
+    adaptive_truncation: str = "auto"
     resident_shards: bool = True
     executor: str = "serial"
     executor_degree: int = 0
@@ -198,6 +244,12 @@ class CPAConfig:
             )
         if self.n_shards < 0:
             raise ValidationError("n_shards must be non-negative (0 = auto)")
+        if self.adaptive_truncation not in ADAPTIVE_TRUNCATION_MODES:
+            raise ConfigurationError(
+                f"adaptive_truncation must be one of "
+                f"{', '.join(ADAPTIVE_TRUNCATION_MODES)}, "
+                f"got {self.adaptive_truncation!r}"
+            )
         if self.executor not in EXECUTOR_KINDS:
             raise ConfigurationError(
                 f"executor must be one of {', '.join(EXECUTOR_KINDS)}, "
@@ -236,16 +288,24 @@ class CPAConfig:
             workers=list(self.workers) if self.executor == "remote" else None,
         )
 
-    def resolve_shards(self, degree: int = 1) -> int:
+    def resolve_shards(self, degree: int = 1, n_items: int = 0) -> int:
         """Concrete shard count for the sharded backend.
 
         Auto mode (``n_shards == 0``) matches the executor's parallel
         degree so each lane owns one shard; an explicit count is honoured
-        regardless of the executor.
+        regardless of the executor.  ``n_items`` (when known — callers
+        with a concrete matrix pass the *answered* item count) caps the
+        result: :class:`~repro.core.sharding.ShardPlan` partitions by
+        item, so no request can realise more shards than answered items.
         """
-        return self.n_shards if self.n_shards > 0 else max(1, int(degree))
+        k = self.n_shards if self.n_shards > 0 else max(1, int(degree))
+        if n_items > 0:
+            k = min(k, int(n_items))
+        return k
 
-    def resolve_backend(self, n_answers: int, degree: int = 1) -> tuple[str, int]:
+    def resolve_backend(
+        self, n_answers: int, degree: int = 1, n_items: int = 0
+    ) -> tuple[str, int]:
         """Concrete ``(backend, n_shards)`` for a matrix/batch of ``n_answers``.
 
         Explicit ``"fused"`` / ``"sharded"`` selections pass through
@@ -255,23 +315,60 @@ class CPAConfig:
         parallel lanes), fused below it, with K sized by
         :func:`repro.core.kernels.auto_shard_count` unless ``n_shards``
         pins it.  Callers resolve per matrix — the SVI engine per batch —
-        so one config serves mixed workloads.
+        so one config serves mixed workloads.  ``n_items`` (the answered
+        item count, when the caller has a concrete matrix) caps K as in
+        :meth:`resolve_shards`.
         """
         if self.backend == "fused":
             return "fused", 0
         if self.backend == "sharded":
-            return "sharded", self.resolve_shards(degree)
+            return "sharded", self.resolve_shards(degree, n_items)
         # Local import: kernels imports state, which imports this module.
         from repro.core.kernels import auto_shard_count, sharded_pays_off
 
         if sharded_pays_off(int(n_answers), int(degree)):
-            k = (
-                self.n_shards
-                if self.n_shards > 0
-                else auto_shard_count(int(n_answers), int(degree))
-            )
-            return "sharded", k
+            if self.n_shards > 0:
+                k = self.n_shards
+                if n_items > 0:
+                    k = min(k, int(n_items))
+            else:
+                k = auto_shard_count(int(n_answers), int(degree), int(n_items))
+            return "sharded", max(1, k)
         return "fused", 0
+
+    def resolve_adaptive_truncation(self, n_items: int, n_answers: int) -> bool:
+        """Whether a sharded run over this matrix adapts per-shard truncations.
+
+        ``"on"`` / ``"off"`` are unconditional; ``"auto"`` engages only on
+        wide-but-sparse matrices (:func:`repro.core.kernels.adaptive_pays_off`
+        — many items, few answers per item), the regime where per-shard
+        item profiles are poor enough that the global ``T`` overpays.
+        Only the sharded backend consults this: the fused kernel has no
+        shard-local statistics to shrink.
+        """
+        if self.adaptive_truncation == "off":
+            return False
+        if self.adaptive_truncation == "on":
+            return True
+        from repro.core.kernels import adaptive_pays_off
+
+        return adaptive_pays_off(int(n_items), int(n_answers))
+
+    def shard_truncation(self, n_profiles: int, n_items: int) -> int:
+        """Cluster truncation ``T_s`` for one shard's item/answer profile.
+
+        The shared sizing rule of shard-local truncation adaptation: the
+        same ``size // 4 + 2`` shape as :meth:`resolve_truncations`, fed
+        with the shard's number of *distinct item answer profiles* (items
+        with identical aggregated answer rows are indistinguishable to
+        the clustering, so profiles — not raw items — bound the clusters
+        a shard's data can support), clamped by :func:`clamp_truncation`
+        to the shard's item count.  The kernel additionally caps the
+        result at the global ``T``, so adaptation can only ever shrink a
+        shard's truncation.
+        """
+        t = min(self.max_truncation, int(n_profiles) // 4 + 2)
+        return clamp_truncation(t, n_items)
 
     def resolve_truncations(self, n_items: int, n_workers: int) -> tuple[int, int]:
         """Concrete ``(T, M)`` for a dataset of the given size.
@@ -280,12 +377,15 @@ class CPAConfig:
         relative to the handful of worker types / item themes the
         generative processes produce, so truncation does not bind, while
         keeping the cost of the ``(T, M, C)`` sufficient statistics low.
+        Both levels are clamped by :func:`clamp_truncation`, so a
+        truncation never exceeds the space it truncates (tiny/empty
+        datasets resolve to one component, not two).
         """
         t = self.truncation_clusters or min(self.max_truncation, n_items // 4 + 2)
         m = self.truncation_communities or min(
             self.max_truncation, n_workers // 4 + 2
         )
-        return max(2, min(t, n_items)), max(2, min(m, n_workers))
+        return clamp_truncation(t, n_items), clamp_truncation(m, n_workers)
 
     def with_overrides(self, **changes: object) -> "CPAConfig":
         """A modified copy (convenience for experiments)."""

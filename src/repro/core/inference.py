@@ -38,7 +38,7 @@ from repro.core.expectations import (
     expected_log_psi,
     expected_log_tau,
 )
-from repro.core.kernels import segment_sum
+from repro.core.kernels import mask_cluster_scores, segment_sum, truncate_rows
 from repro.core.sharding import build_sweep_kernel
 from repro.core.state import CPAState, initialize_state
 from repro.data.answers import AnswerMatrix
@@ -132,6 +132,9 @@ class VariationalInference:
                 max_truncation=max(
                     config.max_truncation, answers.n_items, answers.n_workers
                 ),
+                # identity-pinned ϕ is incompatible with shard-local
+                # cluster windows (every item must reach its own cluster)
+                adaptive_truncation="off",
             )
         self.config = config
         self.answers = answers
@@ -185,6 +188,15 @@ class VariationalInference:
             self.state.kappa = np.eye(self.n_workers)
         if fix_singleton_clusters:
             self.state.phi = np.eye(self.n_items)
+        # Shard-local truncation (DESIGN.md §6): when the sharded kernel
+        # carries binding per-shard windows, project the initial ϕ onto
+        # them.  With ϕ exactly zero outside every window, each shard's
+        # windowed contractions equal the full ones, so every sweep is an
+        # exact coordinate-ascent step within the constrained family (and
+        # the ELBO stays monotone).
+        self._cluster_limits = self.kernel.cluster_limits(self.state.n_clusters)
+        if self._cluster_limits is not None:
+            self.state.localize_clusters(self._cluster_limits)
         # Make the globals consistent with the seeded responsibilities so
         # the first local sweep sees differentiated profiles instead of
         # the bare prior (which would undo the initialisation).
@@ -269,7 +281,18 @@ class VariationalInference:
                 y = self.truth_indicator[self.truth_mask]
                 supervised = y @ e_log_phi.T + (1.0 - y) @ e_log_phi_c.T
                 phi_scores[self.truth_mask] += supervised
-            new_phi = log_normalize_rows(phi_scores)
+            if self._cluster_limits is not None:
+                # keep each item inside its shard's cluster window: mask
+                # the scores (finite fill, SIMD-friendly), then project
+                # the normalised rows so ϕ is *exactly* zero outside the
+                # window — the invariant that keeps the windowed kernel
+                # contractions exact
+                mask_cluster_scores(phi_scores, self._cluster_limits)
+                new_phi = truncate_rows(
+                    log_normalize_rows(phi_scores), self._cluster_limits
+                )
+            else:
+                new_phi = log_normalize_rows(phi_scores)
             phi_delta = float(np.max(np.abs(new_phi - state.phi)))
             state.phi = new_phi
 

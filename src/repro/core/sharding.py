@@ -31,6 +31,20 @@ Combine semantics (the parity contract of ``tests/test_sharded.py``):
   path it only reassociates the per-segment sums, keeping trajectories
   within ``1e-10`` on float64.
 
+Shard-local truncation (DESIGN.md §6 "Shard-local truncation"): with
+``CPAConfig.adaptive_truncation`` engaged, each shard carries a
+``t_limit`` sized from its own distinct item-profile count and works on
+the stick-breaking *prefix* ``[0, T_s)`` of the cluster space,
+``T_s = min(T, t_limit)``: tasks receive the contiguous view
+``e_log_psi[:T_s]`` and windowed ϕ rows, per-shard statistics shrink to
+``(T_s, M, C)``, and merges scatter the prefixes back into the global
+arrays.  Engines keep ϕ exactly zero outside each item's window
+(``cluster_limits`` + the masking helpers of :mod:`repro.core.kernels`),
+so the windowed contractions are *exact* — coordinate ascent within the
+window-constrained variational family.  When no shard binds
+(``T_s = T`` everywhere) every path below is bitwise identical to the
+non-adaptive one.
+
 Transport (DESIGN.md §6 "Lane-resident shard state"): by default the
 shard kernels are **lane-resident** — :class:`ShardedSweepKernel`
 broadcasts the shard tuple to the executor once per plan
@@ -62,6 +76,7 @@ from repro.core.kernels import (
     SweepKernel,
     balanced_bounds,
     dedup_pays_off,
+    segment_sum,
     unique_patterns,
 )
 from repro.errors import ValidationError
@@ -76,13 +91,20 @@ class Shard:
 
     ``kernel`` operates on shard-local index spaces; ``item_ids`` /
     ``worker_ids`` map local rows back to the global spaces (both sorted
-    ascending, so local ids preserve global order).
+    ascending, so local ids preserve global order).  ``t_limit`` is the
+    shard's own cluster-truncation budget (DESIGN.md §6 "Shard-local
+    truncation"), sized from the shard's item/answer profile at plan
+    time; ``None`` means the shard inherits the global truncation.  The
+    effective ``T_s = min(T, t_limit)`` is resolved against the global
+    ``T`` by :class:`ShardedSweepKernel`, never here — the plan does not
+    know ``T``.
     """
 
     index: int
     item_ids: np.ndarray  # (I_s,) global ids of the shard's answered items
     worker_ids: np.ndarray  # (U_s,) global ids of the shard's active workers
     kernel: SweepKernel
+    t_limit: Optional[int] = None
 
     @property
     def n_answers(self) -> int:
@@ -111,10 +133,15 @@ class ShardPlan:
         patterned: Optional[bool] = None,
         patterns: Optional[np.ndarray] = None,
         pattern_index: Optional[np.ndarray] = None,
+        shard_truncation=None,
     ) -> None:
         """``patterns`` / ``pattern_index`` optionally reuse a dedup the
         caller already computed over these exact rows (the SVI batch path
-        dedups once in ``_prepare_batch``) instead of re-sorting here."""
+        dedups once in ``_prepare_batch``) instead of re-sorting here.
+        ``shard_truncation(n_profiles, n_items) -> int`` (normally
+        :meth:`repro.core.config.CPAConfig.shard_truncation`) enables
+        shard-local truncation adaptation: each shard's ``t_limit`` is
+        sized from its count of distinct per-item answer profiles."""
         if n_shards <= 0:
             raise ValidationError("n_shards must be positive")
         self.dtype = np.dtype(dtype)
@@ -198,12 +225,24 @@ class ShardPlan:
                 patterned=patterned,
                 **dedup_tables,
             )
+            t_limit = None
+            if shard_truncation is not None:
+                # Distinct per-item answer profiles: items whose summed
+                # indicator rows coincide are indistinguishable to the
+                # clustering, so the profile count — not the raw item
+                # count — bounds the clusters this shard's data supports.
+                profiles = segment_sum(
+                    sorted_x[lo:hi], local_items, int(item_ids.size)
+                )
+                n_profiles = int(np.unique(profiles, axis=0).shape[0])
+                t_limit = int(shard_truncation(n_profiles, int(item_ids.size)))
             self.shards.append(
                 Shard(
                     index=len(self.shards),
                     item_ids=item_ids,
                     worker_ids=worker_ids,
                     kernel=kernel,
+                    t_limit=t_limit,
                 )
             )
         self.n_shards = len(self.shards)
@@ -374,6 +413,7 @@ class ShardedSweepKernel:
         patterns: Optional[np.ndarray] = None,
         pattern_index: Optional[np.ndarray] = None,
         resident: bool = True,
+        shard_truncation=None,
     ) -> None:
         self.dtype = np.dtype(dtype)
         self.resident = bool(resident)
@@ -398,6 +438,7 @@ class ShardedSweepKernel:
             patterned=patterned,
             patterns=patterns,
             pattern_index=pattern_index,
+            shard_truncation=shard_truncation,
         )
         self.n_items = self.plan.n_items
         self.n_workers = self.plan.n_workers
@@ -405,12 +446,95 @@ class ShardedSweepKernel:
         self.n_labels = self.plan.n_labels
         self.n_patterns = self.plan.n_patterns
         self.n_shards = self.plan.n_shards
+        #: shard-local truncation adaptation is armed (some shard carries
+        #: a t_limit); whether it *binds* depends on the global T of each
+        #: call (see _shard_ts) — when no shard's limit falls below T,
+        #: every code path below is identical to the non-adaptive one.
+        self.adaptive = any(
+            shard.t_limit is not None for shard in self.plan.shards
+        )
+        self._shard_ts_cache: dict = {}
+        self._limits_cache: dict = {}
         self._e_log_psi: Optional[np.ndarray] = None
+        self._psi_views: Optional[List[np.ndarray]] = None
+        self._psi_view_cache: Optional[Tuple[np.ndarray, List[np.ndarray]]] = None
         # Identity-keyed row-slice caches: reusing the same sliced arrays
         # across cell_statistics -> data_elbo lets each shard's joint-mass
         # cache hit (serial/thread executors share the kernel objects).
         self._phi_slices: Optional[Tuple[np.ndarray, List[np.ndarray]]] = None
         self._kappa_slices: Optional[Tuple[np.ndarray, List[np.ndarray]]] = None
+
+    # ------------------------------------------------- shard-local truncation
+
+    def _shard_ts(self, n_clusters: int) -> List[int]:
+        """Effective per-shard truncations ``T_s = min(T, t_limit)``."""
+        t = int(n_clusters)
+        cached = self._shard_ts_cache.get(t)
+        if cached is None:
+            cached = [
+                t if shard.t_limit is None else max(1, min(t, shard.t_limit))
+                for shard in self.plan.shards
+            ]
+            self._shard_ts_cache[t] = cached
+        return cached
+
+    def _binding(self, n_clusters: int) -> bool:
+        """Does any shard truncate below the global ``T`` at this width?"""
+        return self.adaptive and any(
+            t_s < int(n_clusters) for t_s in self._shard_ts(int(n_clusters))
+        )
+
+    def cluster_limits(self, n_clusters: int) -> Optional[np.ndarray]:
+        """Per-item cluster-window limits at global truncation ``n_clusters``.
+
+        ``None`` when adaptation is off or no shard binds (the engines
+        then run the untouched global-truncation updates).  Otherwise an
+        ``(n_items,)`` int64 array: item ``i`` of a truncated shard may
+        only occupy clusters ``[0, limits[i])``; items outside every
+        shard (unanswered) keep the full window.  Engines feed this to
+        :func:`repro.core.kernels.mask_cluster_scores` /
+        :func:`repro.core.kernels.truncate_rows` so ``ϕ`` rows carry
+        exactly zero mass outside their windows — which is what makes
+        every restricted shard contraction exact.
+        """
+        t = int(n_clusters)
+        if not self._binding(t):
+            return None
+        cached = self._limits_cache.get(t)
+        if cached is None:
+            cached = np.full(self.n_items, t, dtype=np.int64)
+            for shard, t_s in zip(self.plan.shards, self._shard_ts(t)):
+                cached[shard.item_ids] = t_s
+            self._limits_cache[t] = cached
+        return cached
+
+    def _psi_for(self, e_log_psi: np.ndarray) -> List[np.ndarray]:
+        """Per-shard likelihood tensors: prefix views when truncating.
+
+        A binding shard receives the contiguous prefix view
+        ``e_log_psi[:T_s]`` — no copy, and its pattern-space tensor and
+        sufficient statistics shrink to ``(·, T_s, M)`` / ``(T_s, M, C)``.
+        Non-binding shards receive the original array object, so the
+        per-sweep identity caches (and bitwise behaviour) match the
+        non-adaptive path exactly.  Views are identity-cached on the
+        input array: repeated calls with the same tensor (the SVI local
+        loop re-enters ``begin_sweep`` every refinement pass) hand the
+        shard kernels the *same* view objects, keeping their per-sweep
+        likelihood caches warm.
+        """
+        t = int(e_log_psi.shape[0])
+        if not self._binding(t):
+            return [e_log_psi] * len(self.plan.shards)
+        cache = self._psi_view_cache
+        if cache is None or cache[0] is not e_log_psi:
+            self._psi_view_cache = (
+                e_log_psi,
+                [
+                    e_log_psi if t_s >= t else e_log_psi[:t_s]
+                    for t_s in self._shard_ts(t)
+                ],
+            )
+        return self._psi_view_cache[1]
 
     # ------------------------------------------------------------ transport
 
@@ -470,17 +594,29 @@ class ShardedSweepKernel:
 
         Each shard task establishes its pattern-space likelihood on first
         use (identity-cached per sweep for in-process executors; process
-        lanes re-evaluate on their pickled copies).
+        lanes re-evaluate on their pickled copies).  Under binding
+        shard-local truncation each truncated shard is pinned to the
+        contiguous prefix view ``e_log_psi[:T_s]`` for the whole sweep.
         """
         self._e_log_psi = np.ascontiguousarray(e_log_psi, dtype=self.dtype)
+        self._psi_views = self._psi_for(self._e_log_psi)
 
     def _item_rows(self, phi: np.ndarray) -> List[np.ndarray]:
         cache = self._phi_slices
         if cache is None or cache[0] is not phi:
-            self._phi_slices = (
-                phi,
-                [phi[shard.item_ids] for shard in self.plan.shards],
-            )
+            rows = [phi[shard.item_ids] for shard in self.plan.shards]
+            if self._binding(phi.shape[1]):
+                # Window the ϕ rows to each shard's prefix.  The engines
+                # keep ϕ at exactly zero outside the windows, so the
+                # truncated contraction equals the full one.  Contiguous
+                # copies: the rows feed per-pattern BLAS matmuls, which
+                # would otherwise re-pack the strided slice per group.
+                rows = [
+                    r if t_s >= phi.shape[1]
+                    else np.ascontiguousarray(r[:, :t_s])
+                    for r, t_s in zip(rows, self._shard_ts(phi.shape[1]))
+                ]
+            self._phi_slices = (phi, rows)
         return self._phi_slices[1]
 
     def _worker_rows(self, kappa: np.ndarray) -> List[np.ndarray]:
@@ -500,8 +636,10 @@ class ShardedSweepKernel:
         if self._e_log_psi is None:
             raise RuntimeError("begin_sweep must be called before score accumulation")
         tasks = [
-            (shard.index, self._e_log_psi, rows)
-            for shard, rows in zip(self.plan.shards, self._item_rows(phi))
+            (shard.index, psi, rows)
+            for shard, psi, rows in zip(
+                self.plan.shards, self._psi_views, self._item_rows(phi)
+            )
         ]
         pieces = self._fan_out(
             executor, _resident_worker_scores, _shard_worker_scores_task, tasks
@@ -517,17 +655,31 @@ class ShardedSweepKernel:
     def add_item_scores(
         self, out: np.ndarray, kappa: np.ndarray, executor: Optional[Executor] = None
     ) -> np.ndarray:
-        """``out[i] += Σ_{n: i_n=i} Σ_m κ[u_n, m] L[n, ·, m]``; disjoint merge."""
+        """``out[i] += Σ_{n: i_n=i} Σ_m κ[u_n, m] L[n, ·, m]``; disjoint merge.
+
+        Under binding shard-local truncation a truncated shard returns
+        ``(I_s, T_s)`` scores which scatter into the prefix columns of
+        its (disjoint) item rows; out-of-window columns are left
+        untouched — the engines mask them out of the ϕ update entirely.
+        """
         executor = executor or _SERIAL
         if self._e_log_psi is None:
             raise RuntimeError("begin_sweep must be called before score accumulation")
         tasks = [
-            (shard.index, self._e_log_psi, rows)
-            for shard, rows in zip(self.plan.shards, self._worker_rows(kappa))
+            (shard.index, psi, rows)
+            for shard, psi, rows in zip(
+                self.plan.shards, self._psi_views, self._worker_rows(kappa)
+            )
         ]
         pieces = self._fan_out(
             executor, _resident_item_scores, _shard_item_scores_task, tasks
         )
+        if self._binding(out.shape[1]):
+            for shard, t_s, scores in zip(
+                self.plan.shards, self._shard_ts(out.shape[1]), pieces
+            ):
+                out[shard.item_ids, :t_s] += scores
+            return out
         return merge_scores(
             out,
             [
@@ -556,11 +708,21 @@ class ShardedSweepKernel:
                 self.plan.shards, self._item_rows(phi), self._worker_rows(kappa)
             )
         ]
-        return merge_cell_statistics(
-            self._fan_out(
-                executor, _resident_cell_statistics, _shard_cell_statistics_task, tasks
-            )
+        pieces = self._fan_out(
+            executor, _resident_cell_statistics, _shard_cell_statistics_task, tasks
         )
+        if self._binding(t):
+            # Truncated shards return (T_s, M, C) partials; scatter each
+            # into the prefix rows of the global statistics.  Clusters no
+            # shard reaches keep zero counts (λ stays at its prior).
+            dtype = np.result_type(phi, kappa)
+            counts = np.zeros((t, m, self.n_labels), dtype=dtype)
+            mass = np.zeros((t, m), dtype=dtype)
+            for t_s, (piece_counts, piece_mass) in zip(self._shard_ts(t), pieces):
+                counts[:t_s] += piece_counts
+                mass[:t_s] += piece_mass
+            return counts, mass
+        return merge_cell_statistics(pieces)
 
     def data_elbo(
         self,
@@ -573,9 +735,12 @@ class ShardedSweepKernel:
         executor = executor or _SERIAL
         e_log_psi = np.ascontiguousarray(e_log_psi, dtype=self.dtype)
         tasks = [
-            (shard.index, phi_rows, kappa_rows, e_log_psi)
-            for shard, phi_rows, kappa_rows in zip(
-                self.plan.shards, self._item_rows(phi), self._worker_rows(kappa)
+            (shard.index, phi_rows, kappa_rows, psi)
+            for shard, phi_rows, kappa_rows, psi in zip(
+                self.plan.shards,
+                self._item_rows(phi),
+                self._worker_rows(kappa),
+                self._psi_for(e_log_psi),
             )
         ]
         return float(
@@ -603,16 +768,28 @@ def build_sweep_kernel(
     answer count and the executor's lane count — explicit ``"fused"`` /
     ``"sharded"`` selections pass through, ``"auto"`` applies the
     measured volume thresholds of :mod:`repro.core.kernels`.  A sharded
-    selection honours ``config.resident_shards`` (lane-resident vs
-    ship-per-task transport).  ``CPAConfig`` already validated the
-    backend name.
+    selection caps K at the matrix's *answered* item count (an
+    item-partitioned plan cannot realise more shards; callers read the
+    realised count back from ``kernel.n_shards``), honours
+    ``config.resident_shards`` (lane-resident vs ship-per-task
+    transport), and engages shard-local truncation adaptation when
+    :meth:`~repro.core.config.CPAConfig.resolve_adaptive_truncation`
+    says the matrix is wide/sparse enough (or the knob forces it).
+    ``CPAConfig`` already validated the backend name.
     """
     dtype = config.resolve_dtype()
     degree = getattr(executor, "degree", 1) if executor is not None else 1
-    backend, n_shards = config.resolve_backend(
-        int(np.asarray(items).size), degree
-    )
+    items_array = np.asarray(items)
+    n_answers = int(items_array.size)
+    backend, n_shards = config.resolve_backend(n_answers, degree)
     if backend == "sharded":
+        if n_shards > 1:
+            # Cap the request by the answered-item count so requested and
+            # realised K agree (the plan would drop the empty ranges
+            # anyway, but a capped request is what records report); K = 1
+            # needs no cap, so skip the O(N log N) unique there.
+            answered = int(np.unique(items_array).size)
+            n_shards = max(1, min(n_shards, max(1, answered)))
         return ShardedSweepKernel(
             items,
             workers,
@@ -622,6 +799,11 @@ def build_sweep_kernel(
             dtype=dtype,
             n_shards=n_shards,
             resident=config.resident_shards,
+            shard_truncation=(
+                config.shard_truncation
+                if config.resolve_adaptive_truncation(n_items, n_answers)
+                else None
+            ),
         )
     return SweepKernel(
         items,

@@ -35,7 +35,9 @@ from repro.core.expectations import (
 from repro.core.kernels import (
     grouped_matmul,
     grouped_outer,
+    mask_cluster_scores,
     segment_sum,
+    truncate_rows,
     unique_patterns,
 )
 from repro.core.natural_gradients import (
@@ -307,8 +309,22 @@ class StochasticInference:
             scores = np.tile(e_log_tau, (data.batch_items.size, 1))
             scores += worker_scale * evidence
             scores += self._supervised_scores(data)
-            mu_target = scores[:, :-1] - scores[:, -1:]
-            phi_batch = log_normalize_rows(scores)
+            limits = self._batch_cluster_limits(data)
+            if limits is not None:
+                # Shard-local truncation (DESIGN.md §6): out-of-window
+                # clusters received no evidence from the truncated shard,
+                # so their prior-only scores would wrongly dominate the
+                # in-window (negative log-likelihood) ones.  The mask's
+                # finite fill keeps µ well-defined (µ is shift-invariant
+                # per row); the projection removes the residual
+                # ``exp(-margin)`` leak so the provisional ϕ feeding the
+                # windowed statistics is exactly window-supported.
+                mask_cluster_scores(scores, limits)
+                mu_target = scores[:, :-1] - scores[:, -1:]
+                phi_batch = truncate_rows(log_normalize_rows(scores), limits)
+            else:
+                mu_target = scores[:, :-1] - scores[:, -1:]
+                phi_batch = log_normalize_rows(scores)
 
         # ---- REDUCE: commit locals, damped global steps -------------------
         state.kappa[data.batch_workers] = kappa_batch
@@ -547,7 +563,13 @@ class StochasticInference:
         if cache is not None and cache[0] is not data:
             cache[1].evict()
             self._batch_kernel_cache = None
-        return self.config.resolve_backend(data.items.size, self.executor.degree)
+        return self.config.resolve_backend(
+            data.items.size,
+            self.executor.degree,
+            # every batch item is answered by construction, so the batch's
+            # item count caps how many shards a plan can realise
+            n_items=int(data.batch_items.size),
+        )
 
     def _batch_kernel(self, data: _BatchData, n_shards: int) -> ShardedSweepKernel:
         """Per-batch sharded kernel over the batch-local index spaces.
@@ -577,9 +599,31 @@ class StochasticInference:
             patterns=data.patterns,
             pattern_index=data.pattern_index,
             resident=self.config.resident_shards,
+            # shard-local truncation, gated per batch: bulk wide/sparse
+            # arrival increments adapt, ordinary paper-sized batches don't
+            shard_truncation=(
+                self.config.shard_truncation
+                if self.config.resolve_adaptive_truncation(
+                    int(data.batch_items.size), int(data.items.size)
+                )
+                else None
+            ),
         )
         self._batch_kernel_cache = (data, kernel)
         return kernel
+
+    def _batch_cluster_limits(self, data: _BatchData) -> Optional[np.ndarray]:
+        """Cluster-window limits of the current batch's sharded kernel.
+
+        ``None`` whenever the batch ran fused or its shard windows do not
+        bind — the local ϕ update is then exactly the historical one.
+        The limits index *batch-local* item rows, matching the
+        ``scores`` / ``phi_batch`` arrays of the local loop.
+        """
+        cache = self._batch_kernel_cache
+        if cache is None or cache[0] is not data:
+            return None
+        return cache[1].cluster_limits(self.state.n_clusters)
 
     def _sharded_map_reduce(
         self,
@@ -596,6 +640,16 @@ class StochasticInference:
         fixed shard order (see :mod:`repro.core.sharding`).
         """
         kernel = self._batch_kernel(data, self._batch_backend(data)[1])
+        limits = kernel.cluster_limits(self.state.n_clusters)
+        if limits is not None:
+            # The windowed contractions assume window-supported ϕ rows;
+            # the incoming ϕ (global state sliced to the batch, or the
+            # µ-synced commit) leaks mass outside this batch's shard
+            # windows, which truncation would silently *drop* instead of
+            # condition on.  Project first — rows renormalise over their
+            # windows, so the κ update and Eq. 6 statistics see proper
+            # distributions.
+            phi_batch = truncate_rows(phi_batch, limits)
         kernel.begin_sweep(e_log_psi)
         scores = np.tile(e_log_pi, (data.batch_workers.size, 1))
         kernel.add_worker_scores(scores, phi_batch, self.executor)
@@ -670,9 +724,13 @@ class StochasticInference:
         """
         backend, n_shards = self._batch_backend(data)
         if backend == "sharded":
-            return self._batch_kernel(data, n_shards).cell_statistics(
-                phi_batch, kappa_batch, self.executor
-            )
+            kernel = self._batch_kernel(data, n_shards)
+            limits = kernel.cluster_limits(self.state.n_clusters)
+            if limits is not None:
+                # as in _sharded_map_reduce: condition ϕ on the windows
+                # rather than letting truncation drop the leaked mass
+                phi_batch = truncate_rows(phi_batch, limits)
+            return kernel.cell_statistics(phi_batch, kappa_batch, self.executor)
         n_patterns = data.patterns.shape[0]
         order = data.pattern_order  # precomputed batch-level grouping
         joint_pattern = grouped_outer(

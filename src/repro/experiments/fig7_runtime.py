@@ -87,6 +87,7 @@ def run(
     backend: str = "thread",
     kernel_backend: str = "fused",
     n_shards: int = 0,
+    adaptive_truncation: str = "auto",
     workers: Sequence[str] = (),
 ) -> ExperimentReport:
     """Sweep the answer volume and time every mechanism once per level.
@@ -95,7 +96,10 @@ def run(
     (``fused``, ``sharded``, or ``auto`` — the latter picks per
     matrix/batch from answer volume and executor degree; DESIGN.md §6)
     for the offline and online engines, exposed on the CLI as
-    ``--kernel-backend`` / ``--shards``.  ``backend="remote"`` with
+    ``--kernel-backend`` / ``--shards``; ``adaptive_truncation``
+    (CLI: ``--adaptive-truncation``) additionally lets sharded runs size
+    per-shard cluster truncations from their own item/answer profiles
+    (DESIGN.md §6 "Shard-local truncation").  ``backend="remote"`` with
     ``workers=("host:port", ...)`` runs the parallel-online rows on
     remote worker daemons (CLI: ``--executor remote --workers ...``) —
     the multi-node path of DESIGN.md §6 "Remote lanes".
@@ -108,6 +112,7 @@ def run(
         svi_iterations=1,
         backend=kernel_backend,
         n_shards=n_shards,
+        adaptive_truncation=adaptive_truncation,
     )
     methods = ["MV", "EM", "cBCC", "offline", "online"] + [
         f"online-{d}" for d in parallel_degrees
