@@ -23,7 +23,12 @@ Measures, at several answer volumes, the wall-clock cost of
   :class:`~repro.utils.parallel.RemoteExecutor`, recording the exact
   frame bytes one sweep puts on the wire (requests out, results back)
   and the one-off broadcast — the multi-node cost model next to the
-  in-process one it extends.
+  in-process one it extends.  The same function additionally records the
+  **content-addressed rebroadcast** cost (DESIGN.md §6 "Elastic fleet"):
+  after a chunked broadcast, daemons that dropped their payloads but
+  kept their chunk caches re-arm for the price of a digest probe plus an
+  assemble request — ``remote_rebroadcast_pickled_bytes`` sits orders of
+  magnitude below the full chunked ship it replaces.
 
 The synthetic workload mirrors the paper's partial-agreement structure:
 label sets are drawn from a bounded pattern pool with a Zipf-like
@@ -259,6 +264,12 @@ class _ByteCountingExecutor(Executor):
 #: loopback worker daemons behind the measured remote executor.
 REMOTE_WORKERS = 2
 
+#: chunk size of the content-addressed rebroadcast measurement — small
+#: enough that every measured plan splits into many chunks, so the
+#: re-arm saving (ship a manifest, not the blob) is visible at every
+#: benchmark volume.
+REBROADCAST_CHUNK_BYTES = 1 << 16
+
 
 def _measure_remote_transport(matrix, config: CPAConfig) -> Dict[str, object]:
     """Exact frame bytes one sweep ships over loopback TCP worker daemons.
@@ -294,6 +305,48 @@ def _measure_remote_transport(matrix, config: CPAConfig) -> Dict[str, object]:
                 "remote_sweep_results_pickled_bytes": int(
                     executor.received_bytes - received_after_init
                 ),
+            }
+        finally:
+            executor.close()
+    finally:
+        for server in servers:
+            server.close()
+
+
+def _measure_rebroadcast_transport(matrix, config: CPAConfig) -> Dict[str, object]:
+    """Exact frame bytes a payload re-arm costs under chunked broadcast.
+
+    Ships the shard plan through a chunked :class:`RemoteExecutor`
+    (``REBROADCAST_CHUNK_BYTES`` chunks), then drops every daemon's
+    *payloads* — the chunk caches survive, exactly the state a daemon
+    restart or payload-LRU eviction leaves behind — and sweeps again.
+    The stale re-arm goes through the content-addressed store: probe the
+    digest index, ship only missing chunks (none), assemble.  The
+    recorded ratio (re-arm bytes / initial chunked ship) is the saving
+    the store exists for (DESIGN.md §6 "Elastic fleet"); byte counts are
+    deterministic, so the record is noise-free.
+    """
+    from repro.utils.parallel import RemoteExecutor
+    from repro.utils.transport import WorkerServer
+
+    servers = [WorkerServer().serve_in_thread() for _ in range(REMOTE_WORKERS)]
+    try:
+        executor = RemoteExecutor(
+            [server.address for server in servers],
+            chunk_bytes=REBROADCAST_CHUNK_BYTES,
+        )
+        try:
+            engine = VariationalInference(config, matrix, executor=executor)
+            engine.sweep()
+            full = executor.broadcast_sent_bytes
+            for server in servers:
+                server.registry.drop_payloads()
+            engine.sweep()
+            rearm = executor.broadcast_sent_bytes - full
+            return {
+                "remote_chunked_broadcast_pickled_bytes": int(full),
+                "remote_rebroadcast_pickled_bytes": int(rearm),
+                "remote_rebroadcast_bytes_ratio": float(rearm) / float(full),
             }
         finally:
             executor.close()
@@ -355,6 +408,7 @@ def measure_sweep_transport(
     record["remote_transport_bytes_ratio"] = float(
         record["remote_resident_sweep_pickled_bytes"]
     ) / float(record["sharded_resident_sweep_pickled_bytes"])
+    record.update(_measure_rebroadcast_transport(matrix, config))
     return record
 
 

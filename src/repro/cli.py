@@ -117,6 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
         "item/answer profile ('auto' engages only on wide-but-sparse "
         "matrices; DESIGN.md §6)",
     )
+    run_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request reply deadline in seconds for --executor remote "
+        "(straggler mitigation: a lane past its deadline is marked "
+        "suspect and its tasks are re-dispatched; 0 disables deadlines)",
+    )
 
     stats_parser = sub.add_parser("stats", help="dataset statistics (Table 3)")
     stats_parser.add_argument("--scale", type=float, default=1.0)
@@ -166,6 +174,8 @@ def _experiment_kwargs(args: argparse.Namespace) -> dict:
         kwargs.setdefault("kernel_backend", "sharded")
     if getattr(args, "adaptive_truncation", None) is not None:
         kwargs["adaptive_truncation"] = args.adaptive_truncation
+    if getattr(args, "request_timeout", None) is not None:
+        kwargs["request_timeout"] = args.request_timeout
     return kwargs
 
 
@@ -187,6 +197,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # an experiment when the executor is finally constructed
         parser.error(
             f"--workers requires --executor remote (got --executor {args.executor})"
+        )
+    if getattr(args, "request_timeout", None) is not None and getattr(
+        args, "executor", None
+    ) not in (None, "remote"):
+        parser.error(
+            "--request-timeout requires --executor remote "
+            f"(got --executor {args.executor})"
         )
 
     if args.command == "list":

@@ -172,6 +172,13 @@ class CPAConfig:
     workers:
         ``"host:port"`` addresses of remote worker daemons; required by
         — and only meaningful for — ``executor="remote"``.
+    request_timeout:
+        Per-request reply deadline in seconds for remote lanes (only
+        meaningful with ``executor="remote"``).  A lane that misses the
+        deadline is marked *suspect* and its tasks are speculatively
+        re-dispatched to the live lanes — a hung daemon delays a sweep,
+        it never stalls it (DESIGN.md §6 "Elastic fleet").  ``0``
+        disables deadlines (replies are awaited forever).
     seed:
         Seed for the random initialisation of the variational state.
     """
@@ -203,6 +210,7 @@ class CPAConfig:
     executor: str = "serial"
     executor_degree: int = 0
     workers: Tuple[str, ...] = ()
+    request_timeout: float = 30.0
     seed: int = 0
     max_truncation: int = 40
     init_noise: float = 0.5
@@ -268,6 +276,10 @@ class CPAConfig:
                 "workers are only meaningful with executor='remote', "
                 f"got executor={self.executor!r}"
             )
+        if self.request_timeout < 0:
+            raise ValidationError(
+                "request_timeout must be non-negative (0 disables deadlines)"
+            )
 
     def resolve_dtype(self) -> np.dtype:
         """The numpy dtype of the state arrays and likelihood kernels."""
@@ -282,10 +294,12 @@ class CPAConfig:
         per core).  Validation already happened in ``__post_init__``, so
         this cannot fail on configuration — only on the network.
         """
+        remote = self.executor == "remote"
         return make_executor(
             self.executor,
             self.executor_degree or None,
-            workers=list(self.workers) if self.executor == "remote" else None,
+            workers=list(self.workers) if remote else None,
+            request_timeout=self.request_timeout if remote else None,
         )
 
     def resolve_shards(self, degree: int = 1, n_items: int = 0) -> int:

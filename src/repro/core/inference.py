@@ -163,6 +163,11 @@ class VariationalInference:
             n_workers=self.n_workers,
             executor=self.executor,
         )
+        #: the lane count the current shard plan was sized for; when the
+        #: executor's degree drifts away from it (worker joined/drained/
+        #: excluded) and K is auto, the next sweep re-plans (DESIGN.md §6
+        #: "Elastic fleet").
+        self._planned_degree = getattr(self.executor, "degree", 1)
 
         if truth is not None and len(truth) > 0:
             self.truth_indicator = truth.to_indicator_matrix()
@@ -248,6 +253,56 @@ class VariationalInference:
             delta_history=delta_history,
         )
 
+    def replan_shards(self, n_shards: Optional[int] = None) -> int:
+        """Re-plan the sharded kernel for the executor's current capacity.
+
+        Retires the current plan (evicting its lane-resident broadcast
+        state), rebuilds the kernel with ``n_shards`` shards — default:
+        the config's shard rule applied to the executor's *current*
+        degree — and re-projects the shard-local truncation windows if
+        the new plan carries any.  Merges are fixed-shard-order and
+        deterministic, so two engines that re-plan to the same K at the
+        same sweep boundary stay bitwise identical regardless of lane
+        count (the chaos suite pins this).  Returns the realised shard
+        count.  Safe mid-run: the variational state is K-agnostic; only
+        the work partition changes.
+        """
+        degree = getattr(self.executor, "degree", 1)
+        if n_shards is None:
+            n_shards = self.config.resolve_shards(degree, self.n_items)
+        if hasattr(self.kernel, "evict"):
+            self.kernel.evict()
+        self.kernel = build_sweep_kernel(
+            self.config,
+            self.items,
+            self.workers,
+            self.indicators,
+            n_items=self.n_items,
+            n_workers=self.n_workers,
+            executor=self.executor,
+            n_shards=n_shards,
+        )
+        self._planned_degree = degree
+        self._cluster_limits = self.kernel.cluster_limits(self.state.n_clusters)
+        if self._cluster_limits is not None:
+            self.state.localize_clusters(self._cluster_limits)
+        return getattr(self.kernel, "n_shards", 1)
+
+    def _maybe_replan(self) -> None:
+        """Auto re-plan between sweeps when fleet membership changed.
+
+        Fires only for an auto-K sharded plan (``config.n_shards == 0``):
+        an explicit K is a user decision that membership changes must not
+        silently override, and a fused kernel has no plan to resize.
+        """
+        if self.config.n_shards != 0:
+            return
+        if not hasattr(self.kernel, "evict"):
+            return  # fused kernel: nothing to re-plan
+        degree = getattr(self.executor, "degree", 1)
+        if degree != self._planned_degree:
+            self.replan_shards()
+
     def sweep(self) -> float:
         """One full coordinate-ascent sweep; returns the max parameter change.
 
@@ -256,6 +311,7 @@ class VariationalInference:
         updates and the λ statistics — the seed implementation re-evaluated
         it for each consumer.
         """
+        self._maybe_replan()
         state = self.state
         e_log_pi = expected_log_pi(state.rho)
         e_log_tau = expected_log_tau(state.ups)

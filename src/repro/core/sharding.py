@@ -760,6 +760,7 @@ def build_sweep_kernel(
     n_items: int,
     n_workers: int,
     executor: Optional[Executor] = None,
+    n_shards: Optional[int] = None,
 ):
     """Kernel-backend selection seam for both engines.
 
@@ -776,12 +777,23 @@ def build_sweep_kernel(
     :meth:`~repro.core.config.CPAConfig.resolve_adaptive_truncation`
     says the matrix is wide/sparse enough (or the knob forces it).
     ``CPAConfig`` already validated the backend name.
+
+    An explicit ``n_shards`` overrides the resolved count and forces the
+    sharded backend — the shard re-planning path
+    (:meth:`~repro.core.inference.VariationalInference.replan_shards`)
+    uses it to rebuild the plan for a changed lane count without
+    re-resolving (and possibly flipping) the backend choice mid-run.
     """
     dtype = config.resolve_dtype()
     degree = getattr(executor, "degree", 1) if executor is not None else 1
     items_array = np.asarray(items)
     n_answers = int(items_array.size)
-    backend, n_shards = config.resolve_backend(n_answers, degree)
+    if n_shards is not None:
+        if n_shards < 1:
+            raise ValidationError("n_shards override must be at least 1")
+        backend = "sharded"
+    else:
+        backend, n_shards = config.resolve_backend(n_answers, degree)
     if backend == "sharded":
         if n_shards > 1:
             # Cap the request by the answered-item count so requested and

@@ -47,12 +47,18 @@ def _time_online(
     degree: int = 0,
     backend: str = "thread",
     workers: Sequence[str] = (),
+    request_timeout: float = None,
 ) -> float:
     batches = stream_from_matrix(
         dataset.answers, answers_per_batch=answers_per_batch, seed=11
     )
     executor = (
-        make_executor(backend, degree, workers=list(workers) or None)
+        make_executor(
+            backend,
+            degree,
+            workers=list(workers) or None,
+            request_timeout=request_timeout if backend == "remote" else None,
+        )
         if degree
         else None
     )
@@ -89,6 +95,7 @@ def run(
     n_shards: int = 0,
     adaptive_truncation: str = "auto",
     workers: Sequence[str] = (),
+    request_timeout: float = None,
 ) -> ExperimentReport:
     """Sweep the answer volume and time every mechanism once per level.
 
@@ -102,7 +109,10 @@ def run(
     (DESIGN.md §6 "Shard-local truncation").  ``backend="remote"`` with
     ``workers=("host:port", ...)`` runs the parallel-online rows on
     remote worker daemons (CLI: ``--executor remote --workers ...``) —
-    the multi-node path of DESIGN.md §6 "Remote lanes".
+    the multi-node path of DESIGN.md §6 "Remote lanes";
+    ``request_timeout`` (CLI: ``--request-timeout``) additionally arms the
+    remote lanes' per-request deadlines and straggler re-dispatch
+    (DESIGN.md §6 "Elastic fleet").
     """
     config = CPAConfig(
         seed=seed,
@@ -155,6 +165,7 @@ def run(
                     degree=degree,
                     backend=backend,
                     workers=workers,
+                    request_timeout=request_timeout,
                 )
             )
 

@@ -37,7 +37,12 @@ round-robins stateless tasks — with per-lane retry/exclusion on
 connection loss: a lost lane's pending tasks are reassigned to the
 survivors, payloads are re-broadcast to lanes that lost them
 (reconnects, LRU eviction on the daemon, replacement workers), and only
-when *every* lane is gone does a call fail.
+when *every* lane is gone does a call fail.  The elastic-fleet layer
+(DESIGN.md §6 "Elastic fleet") extends the pair with per-request
+deadlines + straggler mitigation (a hung daemon delays, never stalls),
+runtime membership (``add_worker`` / ``remove_worker``), and a
+content-addressed chunk store so recovering lanes re-fetch only the
+broadcast bytes they are actually missing.
 """
 
 from __future__ import annotations
@@ -45,8 +50,10 @@ from __future__ import annotations
 import functools
 import os
 import pickle
+import random
 import shutil
 import tempfile
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
@@ -56,6 +63,10 @@ from repro.utils import transport as _transport
 
 #: executor kinds :func:`make_executor` understands.
 EXECUTOR_KINDS = ("serial", "thread", "process", "remote")
+
+#: seam for the reconnect backoff sleeps — tests monkeypatch this to
+#: record the exact delay sequence without waiting it out.
+_sleep = time.sleep
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -420,6 +431,13 @@ class _Lane:
     believed to hold; the belief is optimistic — a daemon that lost a
     payload (LRU eviction, restart) replies ``stale`` and the client
     re-broadcasts — so reconnecting never has to guess daemon state.
+
+    ``health`` is the lane state machine (DESIGN.md §6 "Elastic fleet"):
+    ``"live"`` (usable), or ``"suspect"`` (a per-request deadline expired
+    with a reply still owed; the channel is kept — partial frames are
+    buffered client-side — and the lane is polled for the late reply
+    until ``suspect_deadline``, after which it is reconnected or
+    excluded).  Exclusion is the terminal state, recorded in ``dead``.
     """
 
     __slots__ = (
@@ -431,6 +449,9 @@ class _Lane:
         "resident_keys",
         "dead",
         "reconnects_left",
+        "health",
+        "outstanding",
+        "suspect_deadline",
     )
 
     def __init__(self, index: int, address: str, reconnects: int) -> None:
@@ -441,6 +462,11 @@ class _Lane:
         self.resident_keys: set = set()
         self.dead = False
         self.reconnects_left = int(reconnects)
+        self.health = "live"
+        #: (dispatch token, task indices, broadcast key) of the one
+        #: request whose reply this suspect lane still owes.
+        self.outstanding: Optional[Tuple[int, List[int], Optional[str]]] = None
+        self.suspect_deadline = 0.0
 
 
 class RemoteExecutor(Executor):
@@ -463,12 +489,34 @@ class RemoteExecutor(Executor):
       contract of the sharded backend bitwise.
     * **failure handling** — a lane whose channel fails (connection
       refused, reset, truncated frame) is reconnected up to
-      ``reconnects`` times and then excluded; its pending tasks rejoin
+      ``reconnects`` times (jittered exponential backoff under a
+      wall-clock budget) and then excluded; its pending tasks rejoin
       the pool and land on the survivors in the next round.  Only when
       every lane is excluded does the call raise
       :class:`~repro.errors.TransportError`.  Worker-side *task*
       exceptions are re-raised as-is — a bug in the task is the caller's
       problem, not a lane failure, and must not trigger retries.
+    * **straggler mitigation** (``request_timeout > 0``) — a lane whose
+      reply misses its deadline is not failed but marked *suspect*: its
+      channel is kept (the partial frame stays buffered client-side, so
+      the stream never desyncs), its pending tasks are speculatively
+      re-dispatched to the live lanes, and the suspect is polled for the
+      late reply.  First result per task wins; task functions are pure,
+      so either copy is bitwise identical and results match serial.  A
+      suspect silent past its grace window is reconnected (a hung
+      *handler* on a live daemon is cured by a fresh connection) or
+      excluded.  ``request_timeout=0`` (the default) disables deadlines
+      entirely — replies are awaited forever, the pre-elastic behaviour.
+    * **membership** — :meth:`add_worker` attaches lanes at runtime,
+      :meth:`remove_worker` drains them; ``degree`` tracks the live
+      count, which is what lets the sharded backend re-plan between
+      sweeps without restarting inference.
+    * **chunked broadcast** (``chunk_bytes > 0``) — payloads above the
+      chunk size are split into content-hashed chunks kept in a
+      client-side object store; a lane is armed by probing which digests
+      its daemon already holds and shipping only the missing ones, so a
+      reconnecting or replacement daemon with a warm chunk cache costs a
+      probe instead of the full blob.
 
     The executor never owns daemon lifetime: :meth:`close` releases the
     broadcast state it installed and drops its connections, leaving the
@@ -484,6 +532,11 @@ class RemoteExecutor(Executor):
         connect_timeout: float = 5.0,
         reconnects: int = 1,
         channel_factory: Optional[Callable[[int, str, int], object]] = None,
+        request_timeout: float = 0.0,
+        straggler_grace: Optional[float] = None,
+        chunk_bytes: int = _transport.DEFAULT_BROADCAST_CHUNK_BYTES,
+        reconnect_backoff: float = 0.05,
+        reconnect_budget: float = 5.0,
     ) -> None:
         if not workers:
             raise ConfigurationError(
@@ -491,20 +544,54 @@ class RemoteExecutor(Executor):
                 "('host:port'); start daemons with "
                 "`python -m repro.worker --listen host:port`"
             )
+        if request_timeout < 0:
+            raise ConfigurationError("request_timeout cannot be negative")
+        if chunk_bytes < 0:
+            raise ConfigurationError("chunk_bytes cannot be negative")
         self._reconnects = int(reconnects)
         self._connect_timeout = float(connect_timeout)
         self._channel_factory = channel_factory
-        self._lanes = [
-            _Lane(index, address, self._reconnects)
-            for index, address in enumerate(workers)
-        ]
+        self._request_timeout = float(request_timeout)
+        #: how long a suspect lane may stay silent before it is
+        #: reconnected/excluded; defaults to two more request timeouts.
+        self._straggler_grace = (
+            float(straggler_grace)
+            if straggler_grace is not None
+            else 2.0 * self._request_timeout
+        )
+        self._chunk_bytes = int(chunk_bytes)
+        self._reconnect_backoff = float(reconnect_backoff)
+        self._reconnect_budget = float(reconnect_budget)
+        #: jitter desynchronises reconnect storms across clients; seeded
+        #: so a test run's delay sequence is reproducible.
+        self._backoff_jitter = random.Random(0x5EED)
+        self._lanes: List[_Lane] = []
+        #: monotonic lane index: never reused after remove_worker, so
+        #: (lane, attempt) keying in channel factories stays unambiguous.
+        self._next_lane_index = 0
+        for address in workers:
+            self._attach_lane(address)
         self._payloads: Dict[str, bytes] = {}
+        #: content-addressed object store: chunk digest → raw bytes,
+        #: refcounted across the broadcast keys whose manifests share them.
+        self._manifests: Dict[str, List[bytes]] = {}
+        self._chunk_store: Dict[bytes, bytes] = {}
+        self._chunk_refs: Dict[bytes, int] = {}
+        #: distinguishes which _dispatch call a harvested late reply
+        #: belongs to — replies for finished calls are discarded.
+        self._dispatch_token = 0
         self._closed = False
         #: exact frame bytes spent on broadcast requests (including
         #: re-broadcasts after failures) — deterministic, benchmarked.
         self.broadcast_sent_bytes = 0
         self._retired_sent = 0
         self._retired_received = 0
+
+    def _attach_lane(self, address: str) -> _Lane:
+        lane = _Lane(self._next_lane_index, address, self._reconnects)
+        self._next_lane_index += 1
+        self._lanes.append(lane)
+        return lane
 
     # ----------------------------------------------------------- telemetry
 
@@ -546,9 +633,56 @@ class RemoteExecutor(Executor):
         ``map_on`` task lands on it.
         """
         self._check_open()
-        self._lanes.append(_Lane(len(self._lanes), address, self._reconnects))
+        self._attach_lane(address)
+
+    def remove_worker(self, address: str) -> None:
+        """Drain and detach the lane for ``address`` at runtime.
+
+        Drain semantics: an in-flight straggler reply is settled first
+        (so no result computed for a live call is lost), the daemon's
+        resident payloads installed by *this* client are released
+        best-effort, and the lane leaves the pool — the daemon itself
+        stays up for other clients.  Removing an address this executor
+        does not hold, or the last non-excluded lane, raises
+        :class:`~repro.errors.ConfigurationError` — a fleet of zero
+        lanes cannot make progress and must be refused loudly.
+        """
+        self._check_open()
+        host, port = _transport.parse_address(address)
+        normalized = _transport.format_address(host, port)
+        lane = next(
+            (l for l in self._lanes if l.address == normalized), None
+        )
+        if lane is None:
+            raise ConfigurationError(
+                f"no lane for worker {normalized!r} on this {self.kind} "
+                f"executor; current lanes: {self.live_workers()}"
+            )
+        if not lane.dead and all(
+            l.dead for l in self._lanes if l is not lane
+        ):
+            raise ConfigurationError(
+                f"cannot remove {normalized!r}: it is the last live lane "
+                f"of this {self.kind} executor; attach a replacement with "
+                "add_worker() first"
+            )
+        if lane.health == "suspect":
+            self._settle_suspects(only=lane)
+        if not lane.dead and lane.channel is not None:
+            for key in sorted(lane.resident_keys):
+                try:
+                    _transport.request(
+                        lane.channel,
+                        ("release", key),
+                        timeout=self._request_timeout or None,
+                    )
+                except TransportError:
+                    break  # drain is best-effort; the lane leaves anyway
+        self._drop_channel(lane)
+        self._lanes.remove(lane)
 
     def _live_lanes(self) -> List[_Lane]:
+        """Member (non-excluded) lanes, suspects included; loud if none."""
         lanes = [lane for lane in self._lanes if not lane.dead]
         if not lanes:
             raise TransportError(
@@ -557,6 +691,16 @@ class RemoteExecutor(Executor):
                 "or restart the daemons and build a fresh executor"
             )
         return lanes
+
+    def _scatter_lanes(self) -> List[_Lane]:
+        """Lanes that may be sent new work right now (live, not suspect —
+        a suspect's channel still owes a reply, so a new request on it
+        would interleave frames)."""
+        return [
+            lane
+            for lane in self._lanes
+            if not lane.dead and lane.health == "live"
+        ]
 
     def _connect_lane(self, lane: _Lane) -> None:
         if lane.channel is not None:
@@ -581,9 +725,26 @@ class RemoteExecutor(Executor):
         ``resident_keys`` is kept across reconnects — if the daemon
         actually lost state (it died and something respawned it on the
         same address), its ``stale`` replies trigger re-broadcast anyway.
+
+        Reconnect attempts after the first back off exponentially with
+        jitter (base ``reconnect_backoff``, capped at 2 s per gap) under
+        a total wall-clock budget (``reconnect_budget``) — a refused
+        port must not be hammered in a tight loop, and a network that
+        stays down must not stall the caller unboundedly.
         """
         self._drop_channel(lane)
+        lane.health = "live"
+        lane.outstanding = None
+        deadline = time.monotonic() + self._reconnect_budget
+        attempt = 0
         while lane.reconnects_left > 0:
+            if attempt > 0:
+                gap = min(2.0, self._reconnect_backoff * (2 ** (attempt - 1)))
+                gap *= 0.5 + self._backoff_jitter.random()  # [0.5x, 1.5x)
+                if time.monotonic() + gap > deadline:
+                    break  # out of wall-clock budget: exclude
+                _sleep(gap)
+            attempt += 1
             lane.reconnects_left -= 1
             try:
                 self._connect_lane(lane)
@@ -592,6 +753,184 @@ class RemoteExecutor(Executor):
                 self._drop_channel(lane)
         lane.dead = True
 
+    # ----------------------------------------------------------- stragglers
+
+    def _settle_suspects(self, only: Optional[_Lane] = None) -> None:
+        """Block until no suspect lane remains (reply harvested, lane
+        reconnected, or lane excluded).  Public entry points that write
+        to channels (broadcast, remove_worker) call this first — a
+        suspect's channel owes a reply, and writing a new request before
+        it lands would interleave frames."""
+        while True:
+            suspects = [
+                lane
+                for lane in self._lanes
+                if not lane.dead
+                and lane.health == "suspect"
+                and (only is None or lane is only)
+            ]
+            if not suspects:
+                return
+            self._poll_suspects(block=True, only=only)
+
+    def _poll_suspects(
+        self, block: bool = False, only: Optional[_Lane] = None
+    ) -> List[Tuple[int, List[int], List]]:
+        """Try to collect late replies from suspect lanes.
+
+        Non-blocking by default (one poll per suspect); ``block=True``
+        waits up to the request timeout per suspect.  A suspect whose
+        grace window has expired is reconnected (fresh channel — which
+        cures a hung handler thread on an otherwise-live daemon) or
+        excluded by :meth:`_fail_lane`.  Returns the settled replies as
+        ``(dispatch token, task indices, values)`` triples; the caller
+        decides whether a triple belongs to the dispatch call it is
+        currently assembling or is a stale leftover to discard.
+        """
+        settled: List[Tuple[int, List[int], List]] = []
+        for lane in list(self._lanes):
+            if lane.dead or lane.health != "suspect":
+                continue
+            if only is not None and lane is not only:
+                continue
+            timeout = (self._request_timeout or 1.0) if block else 0.0
+            try:
+                reply = lane.channel.recv(timeout=timeout)
+            except _transport.LaneTimeout:
+                if time.monotonic() >= lane.suspect_deadline:
+                    self._fail_lane(lane)  # resets health/outstanding
+                continue
+            except TransportError:
+                self._fail_lane(lane)
+                continue
+            outcome = self._settle_reply(lane, reply)
+            if outcome is not None:
+                settled.append(outcome)
+        return settled
+
+    def _settle_reply(
+        self, lane: _Lane, reply: object
+    ) -> Optional[Tuple[int, List[int], List]]:
+        """A suspect lane finally answered: recover it to *live* and
+        decide whether the reply's values are usable."""
+        token, indices, key = lane.outstanding
+        lane.outstanding = None
+        lane.health = "live"
+        lane.suspect_deadline = 0.0
+        try:
+            values = _transport.unwrap_reply(reply)
+        except _transport.StaleBroadcast:
+            lane.resident_keys.discard(key)
+            return None
+        except TransportError:
+            self._fail_lane(lane)
+            return None
+        except Exception:  # noqa: BLE001 - late worker task error
+            # The task was (or will be) speculatively re-run on a live
+            # lane; task functions are pure, so that copy raises the
+            # same error deterministically if the call still cares.
+            return None
+        if not isinstance(values, list) or len(values) != len(indices):
+            self._fail_lane(lane)
+            return None
+        return (token, list(indices), values)
+
+    # ----------------------------------------------------- broadcast store
+
+    def _store_payload(self, key: str, blob: bytes) -> None:
+        """Retain ``blob`` client-side; chunk it into the object store
+        when it crosses the chunk threshold (small payloads ship
+        monolithically — a probe round-trip would cost more than it
+        saves)."""
+        self._release_chunks(key)
+        self._payloads[key] = blob
+        if self._chunk_bytes > 0 and len(blob) > self._chunk_bytes:
+            digests: List[bytes] = []
+            for chunk in _transport.split_chunks(blob, self._chunk_bytes):
+                digest = _transport.chunk_digest(chunk)
+                digests.append(digest)
+                self._chunk_refs[digest] = self._chunk_refs.get(digest, 0) + 1
+                self._chunk_store.setdefault(digest, chunk)
+            self._manifests[key] = digests
+
+    def _release_chunks(self, key: str) -> None:
+        for digest in self._manifests.pop(key, ()):
+            refs = self._chunk_refs.get(digest, 0) - 1
+            if refs <= 0:
+                self._chunk_refs.pop(digest, None)
+                self._chunk_store.pop(digest, None)
+            else:
+                self._chunk_refs[digest] = refs
+
+    def _install_payload(self, lane: _Lane, key: str) -> None:
+        """Arm one connected lane with the payload under ``key``,
+        accounting the exact broadcast bytes spent."""
+        before = lane.channel.sent_bytes
+        try:
+            if key in self._manifests:
+                self._install_chunked(lane, key)
+            else:
+                _transport.request(
+                    lane.channel,
+                    ("broadcast", key, self._payloads[key]),
+                    timeout=self._request_timeout or None,
+                )
+        finally:
+            if lane.channel is not None:
+                self.broadcast_sent_bytes += lane.channel.sent_bytes - before
+        lane.resident_keys.add(key)
+
+    def _install_chunked(self, lane: _Lane, key: str) -> None:
+        """Content-addressed install: probe, ship missing chunks
+        (pipelined), assemble.  A daemon that still holds the chunks —
+        replacement on a warm cache, payload-LRU churn — pays only the
+        probe."""
+        timeout = self._request_timeout or None
+        channel = lane.channel
+        digests = self._manifests[key]
+        missing = _transport.request(
+            channel, ("chunk_probe", list(digests)), timeout=timeout
+        )
+        if not isinstance(missing, list):
+            raise TransportError(
+                f"malformed chunk_probe reply: {missing!r}"
+            )
+        for digest in missing:
+            channel.send(("chunk_put", digest, self._chunk_store[digest]))
+        channel.send(("chunk_assemble", key, list(digests)))
+        # drain all replies before raising anything: the channel must
+        # stay aligned (a TransportError is exempt — the caller drops
+        # the channel, so leftover replies die with it)
+        deferred_error: Optional[BaseException] = None
+        for _ in missing:
+            try:
+                _transport.unwrap_reply(channel.recv(timeout=timeout))
+            except TransportError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - daemon-side put error
+                if deferred_error is None:
+                    deferred_error = exc
+        need_fallback = False
+        try:
+            _transport.unwrap_reply(channel.recv(timeout=timeout))
+        except _transport.ChunksMissing:
+            # evicted between probe and assemble (undersized daemon
+            # cache): one bounded fallback to the monolithic path
+            need_fallback = True
+        except TransportError:
+            raise
+        except Exception as exc:  # noqa: BLE001
+            if deferred_error is None:
+                deferred_error = exc
+        if deferred_error is not None:
+            raise deferred_error
+        if need_fallback:
+            _transport.request(
+                channel,
+                ("broadcast", key, self._payloads[key]),
+                timeout=timeout,
+            )
+
     # ------------------------------------------------------------ dispatch
 
     def _ensure_resident(self, lane: _Lane, key: str) -> None:
@@ -599,13 +938,7 @@ class RemoteExecutor(Executor):
         self._connect_lane(lane)
         if key is None or key in lane.resident_keys:
             return
-        blob = self._payloads[key]
-        before = lane.channel.sent_bytes
-        try:
-            _transport.request(lane.channel, ("broadcast", key, blob))
-        finally:
-            self.broadcast_sent_bytes += lane.channel.sent_bytes - before
-        lane.resident_keys.add(key)
+        self._install_payload(lane, key)
 
     def _dispatch(
         self,
@@ -617,15 +950,46 @@ class RemoteExecutor(Executor):
 
         Rounds repeat until every task has a result; each round excludes
         (or reconnects) the lanes that failed, so the loop terminates —
-        lane reconnect budgets are finite and the stale-broadcast budget
-        bounds daemon-side eviction churn.
+        lane reconnect budgets are finite, suspect grace windows are
+        finite, and the stale-broadcast budget bounds daemon-side
+        eviction churn.
+
+        Straggler rule: a lane that misses its reply deadline goes
+        *suspect* and its tasks stay pending, to be speculatively
+        re-dispatched to the live lanes next round.  Harvested late
+        replies fill only still-open slots (first result per task wins);
+        since task functions are pure, the speculative copy and the late
+        original are bitwise identical, so dedup cannot change results.
         """
         results: List = [None] * len(tasks)
         done = [False] * len(tasks)
         pending = list(range(len(tasks)))
         stale_budget = 4 + 2 * len(self._lanes)
+        self._dispatch_token += 1
+        token = self._dispatch_token
         while pending:
-            lanes = self._live_lanes()
+            # settle stragglers first: a late reply may retire pending
+            # tasks, and an expired grace reconnects/excludes the lane.
+            # Block only when no lane is available for new work —
+            # progress then depends entirely on the suspects.
+            block = not self._scatter_lanes()
+            for s_token, indices, values in self._poll_suspects(block=block):
+                if s_token != token:
+                    continue  # a finished call's reply: long since recomputed
+                for index, value in zip(indices, values):
+                    if not done[index]:
+                        results[index] = value
+                        done[index] = True
+            pending = [index for index in pending if not done[index]]
+            if not pending:
+                break
+            lanes = self._scatter_lanes()
+            if not lanes:
+                if any(
+                    lane.health == "suspect" for lane in self._live_lanes()
+                ):
+                    continue  # only suspects remain: keep harvesting
+                continue  # _live_lanes() raised if truly nobody is left
             sent: List[Tuple[_Lane, List[int]]] = []
             send_error: Optional[BaseException] = None
             for offset, lane in enumerate(lanes):
@@ -656,7 +1020,18 @@ class RemoteExecutor(Executor):
             deferred_error: Optional[BaseException] = None
             for lane, indices in sent:
                 try:
-                    reply = lane.channel.recv()
+                    reply = lane.channel.recv(
+                        timeout=self._request_timeout or None
+                    )
+                except _transport.LaneTimeout:
+                    # straggler: channel kept (partial frame buffered),
+                    # tasks stay pending for speculative re-dispatch
+                    lane.health = "suspect"
+                    lane.outstanding = (token, list(indices), key)
+                    lane.suspect_deadline = (
+                        time.monotonic() + self._straggler_grace
+                    )
+                    continue
                 except TransportError:
                     self._fail_lane(lane)
                     continue
@@ -719,32 +1094,26 @@ class RemoteExecutor(Executor):
     def broadcast(self, key: str, payload: object) -> None:
         blob = _transport.dumps(payload)
         self._check_open()
-        self._payloads[key] = blob
+        # a suspect's channel owes a reply; settle before writing to it
+        self._settle_suspects()
+        self._store_payload(key, blob)
         for lane in self._lanes:
             # a re-broadcast replaces the payload everywhere: stale lane
             # copies must never be addressed again
             lane.resident_keys.discard(key)
-        # Pipelined like _dispatch: push the frame to every lane first so
-        # N transfers overlap on the wire, then collect the N acks — a
-        # shard plan is tens of MB, so sequential send+wait per lane
-        # would serialise the slowest part of the fan-out.
-        targets: List[_Lane] = []
+        # Lanes are armed sequentially: the chunked install is a
+        # conversation (probe → ship missing → assemble), not a single
+        # push, so cross-lane send pipelining would interleave frames.
+        # The tradeoff is deliberate — the shared client NIC serialises
+        # the bulk transfer anyway, and the dedup typically removes far
+        # more wire time than overlap could (DESIGN.md §6).
+        deferred_error: Optional[BaseException] = None
         for lane in self._live_lanes():
+            if lane.health != "live":
+                continue  # settled above; only a freshly-failed race lands here
             try:
                 self._connect_lane(lane)
-                before = lane.channel.sent_bytes
-                try:
-                    lane.channel.send(("broadcast", key, blob))
-                finally:
-                    self.broadcast_sent_bytes += lane.channel.sent_bytes - before
-            except TransportError:
-                self._fail_lane(lane)
-                continue
-            targets.append(lane)
-        deferred_error: Optional[BaseException] = None
-        for lane in targets:
-            try:
-                _transport.unwrap_reply(lane.channel.recv())
+                self._install_payload(lane, key)
             except TransportError:
                 self._fail_lane(lane)
                 continue
@@ -752,7 +1121,6 @@ class RemoteExecutor(Executor):
                 if deferred_error is None:
                     deferred_error = exc
                 continue
-            lane.resident_keys.add(key)
         if deferred_error is not None:
             raise deferred_error
         self._live_lanes()  # loud if the broadcast left no lane standing
@@ -776,13 +1144,20 @@ class RemoteExecutor(Executor):
         if self._closed:
             return
         self._payloads.pop(key, None)
+        self._release_chunks(key)
         for lane in self._lanes:
-            if lane.dead or lane.channel is None:
+            if lane.dead or lane.channel is None or lane.health != "live":
+                # a suspect's channel owes a reply — skip the wire op
+                # (best-effort cleanup; the daemon LRU reclaims it)
                 lane.resident_keys.discard(key)
                 continue
             if key in lane.resident_keys:
                 try:
-                    _transport.request(lane.channel, ("release", key))
+                    _transport.request(
+                        lane.channel,
+                        ("release", key),
+                        timeout=self._request_timeout or None,
+                    )
                 except TransportError:
                     self._drop_channel(lane)
                 lane.resident_keys.discard(key)
@@ -806,6 +1181,7 @@ def make_executor(
     kind: str = "serial",
     degree: int | None = None,
     workers: Sequence[str] | None = None,
+    request_timeout: float | None = None,
 ) -> Executor:
     """Factory: ``kind`` must be one of :data:`EXECUTOR_KINDS`.
 
@@ -816,7 +1192,9 @@ def make_executor(
     serial backend used to swallow it silently).  ``workers`` (a list of
     ``"host:port"`` daemon addresses) is required by — and only
     meaningful for — the ``"remote"`` kind; ``degree`` there optionally
-    caps how many of the listed daemons become lanes.
+    caps how many of the listed daemons become lanes, and
+    ``request_timeout`` (seconds; 0 disables) sets the per-request reply
+    deadline behind the straggler mitigation.
     """
     if degree is not None and degree < 1:
         raise ConfigurationError(
@@ -825,6 +1203,11 @@ def make_executor(
     if workers is not None and kind != "remote":
         raise ConfigurationError(
             f"worker addresses only apply to the 'remote' executor, "
+            f"not {kind!r}"
+        )
+    if request_timeout is not None and kind != "remote":
+        raise ConfigurationError(
+            f"request_timeout only applies to the 'remote' executor, "
             f"not {kind!r}"
         )
     if kind == "serial":
@@ -841,7 +1224,9 @@ def make_executor(
                 "`python -m repro.worker --listen host:port`"
             )
         lanes = list(workers)[:degree] if degree else list(workers)
-        return RemoteExecutor(lanes)
+        if request_timeout is None:
+            return RemoteExecutor(lanes)
+        return RemoteExecutor(lanes, request_timeout=request_timeout)
     raise ConfigurationError(
         f"unknown executor kind {kind!r}; expected one of {', '.join(EXECUTOR_KINDS)}"
     )

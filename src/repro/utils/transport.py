@@ -37,9 +37,21 @@ request                             reply
 ``("map_on", key, func, tasks)``    ``("ok", [func(payload, t)...])`` or
                                     ``("stale", key)`` if evicted/unknown
 ``("map_tasks", func, tasks)``      ``("ok", [func(t)...])``
+``("chunk_probe", [digest...])``    ``("ok", [missing digest...])``
+``("chunk_put", digest, data)``     ``("ok", None)`` (digest-verified)
+``("chunk_assemble", key,           ``("ok", None)`` or ``("missing",
+  [digest...])``                    [digest...])`` if chunks were evicted
 ``("shutdown",)``                   ``("ok", None)``, then the daemon
                                     stops accepting and exits
 ==================================  ======================================
+
+The three ``chunk_*`` ops form the content-addressed broadcast store
+(DESIGN.md §6 "Elastic fleet"): a large payload is split client-side
+into content-hashed chunks, the daemon reports which digests it already
+holds, and only the missing chunks cross the wire before ``assemble``
+rebuilds the payload under its key.  A daemon whose *payload* LRU
+evicted a key but whose chunk index still holds the bytes is re-armed
+for the price of a probe instead of the full blob.
 
 A task that raises on the worker replies ``("err", exception,
 traceback_text)``; the client re-raises the exception (or
@@ -51,12 +63,14 @@ failure, which is what the retry/exclusion machinery of
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import socket
 import struct
 import threading
+import time
 import traceback
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import TransportError, ValidationError, WorkerFailure
 
@@ -70,6 +84,28 @@ MAX_FRAME_BYTES = 1 << 36  # 64 GiB
 #: resident payloads a worker daemon keeps at once; mirrors the process
 #: pool's worker-side LRU cap (``parallel._WORKER_PAYLOAD_CAP``).
 DEFAULT_PAYLOAD_CAP = 8
+
+#: chunk size for the content-addressed broadcast store.  4 MiB keeps
+#: the per-chunk round-trip overhead (one digest + one frame header) in
+#: the noise at 75 MB payloads while still giving the dedup index
+#: enough granularity that a mostly-unchanged payload reuses most bytes.
+DEFAULT_BROADCAST_CHUNK_BYTES = 4 << 20
+
+#: worker-side chunk cache budget (bytes, not entries — chunks are
+#: uniform-cost only within one payload, not across payload sizes).
+DEFAULT_CHUNK_CACHE_BYTES = 256 << 20
+
+
+def chunk_digest(data: bytes) -> bytes:
+    """Content address of one chunk (blake2b-128: fast, no deps)."""
+    return hashlib.blake2b(data, digest_size=16).digest()
+
+
+def split_chunks(blob: bytes, chunk_bytes: int) -> List[bytes]:
+    """Split ``blob`` into fixed-size content chunks (last may be short)."""
+    if chunk_bytes < 1:
+        raise ValidationError("chunk size must be at least 1 byte")
+    return [blob[i : i + chunk_bytes] for i in range(0, len(blob), chunk_bytes)]
 
 
 def dumps(obj: object) -> bytes:
@@ -112,6 +148,11 @@ class Channel:
         self.sent_bytes = 0
         self.received_bytes = 0
         self._closed = False
+        # bytes read off the socket but not yet consumed as a full frame.
+        # A deadline that expires mid-frame leaves the partial frame here,
+        # so a timeout never desynchronises the stream: the next recv()
+        # resumes exactly where the last one stopped (DESIGN.md §6).
+        self._rx = bytearray()
 
     # ------------------------------------------------------------- framing
 
@@ -130,53 +171,108 @@ class Channel:
             raise TransportError(f"send failed: {exc}") from exc
         self.sent_bytes += len(data)
 
-    def recv(self) -> Any:
-        """Receive one framed message; :class:`TransportError` on EOF/trunc."""
-        header = self._recv_exact(_HEADER.size, expect_eof=False)
-        (length,) = _HEADER.unpack(header)
+    def recv(self, timeout: Optional[float] = None) -> Any:
+        """Receive one framed message; :class:`TransportError` on EOF/trunc.
+
+        ``timeout`` bounds the *whole frame*, measured from this call:
+        expiry raises :class:`LaneTimeout` (a :class:`TransportError`)
+        instead of hanging on a peer that accepted but never replies.
+        ``timeout=0`` is a non-blocking poll: it returns a frame only if
+        one is already fully buffered/readable.  Partial progress is kept
+        in an internal buffer, so after a timeout the channel is still
+        aligned and a later recv() continues the same frame.
+        """
+        poll = timeout is not None and timeout <= 0
+        deadline = None if timeout is None or poll else time.monotonic() + timeout
+        self._fill(_HEADER.size, expect_eof=False, deadline=deadline, poll=poll)
+        (length,) = _HEADER.unpack(bytes(self._rx[: _HEADER.size]))
         if length > MAX_FRAME_BYTES:
             raise TransportError(
                 f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
                 "cap; stream is corrupt or misaligned"
             )
-        body = self._recv_exact(length, expect_eof=False)
-        self.received_bytes += _HEADER.size + length
-        return pickle.loads(body)
+        self._fill(
+            _HEADER.size + length, expect_eof=False, deadline=deadline, poll=poll
+        )
+        return self._consume_frame(length)
 
     def recv_or_eof(self) -> Tuple[bool, Any]:
         """Like :meth:`recv`, but a clean EOF *between* frames returns
         ``(False, None)`` instead of raising — the worker's accept loop
         treats a client hanging up between requests as a normal goodbye.
         Mid-frame EOF still raises (a truncated frame is never normal)."""
-        header = self._recv_exact(_HEADER.size, expect_eof=True)
-        if header is None:
+        if not self._fill(_HEADER.size, expect_eof=True):
             return False, None
-        (length,) = _HEADER.unpack(header)
+        (length,) = _HEADER.unpack(bytes(self._rx[: _HEADER.size]))
         if length > MAX_FRAME_BYTES:
             raise TransportError(
                 f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
             )
-        body = self._recv_exact(length, expect_eof=False)
-        self.received_bytes += _HEADER.size + length
-        return True, pickle.loads(body)
+        self._fill(_HEADER.size + length, expect_eof=False)
+        return True, self._consume_frame(length)
 
-    def _recv_exact(self, n: int, expect_eof: bool) -> Optional[bytes]:
-        pieces: List[bytes] = []
-        remaining = n
-        while remaining > 0:
+    def _consume_frame(self, length: int) -> Any:
+        """Pop one fully-buffered frame (header + ``length`` body bytes)."""
+        body = bytes(self._rx[_HEADER.size : _HEADER.size + length])
+        del self._rx[: _HEADER.size + length]
+        self.received_bytes += _HEADER.size + length
+        return pickle.loads(body)
+
+    def _fill(
+        self,
+        n: int,
+        expect_eof: bool,
+        deadline: Optional[float] = None,
+        poll: bool = False,
+    ) -> bool:
+        """Buffer socket bytes until at least ``n`` are held.
+
+        Nothing is ever *consumed* here — a deadline that expires between
+        a frame's header and its body must not lose the parse position,
+        so frames are only popped from the buffer once complete
+        (:meth:`_consume_frame`).  Returns ``False`` on a clean EOF with
+        an empty buffer when ``expect_eof`` (a goodbye between frames);
+        every other shortfall raises.
+        """
+        while len(self._rx) < n:
+            if self._closed:
+                raise TransportError("channel is closed")
+            timeout_value: Optional[float] = None
+            if poll:
+                timeout_value = 0.0
+            elif deadline is not None:
+                timeout_value = deadline - time.monotonic()
+                if timeout_value <= 0:
+                    raise LaneTimeout(
+                        f"deadline expired awaiting a frame "
+                        f"({len(self._rx)}/{n} bytes buffered)"
+                    )
             try:
-                piece = self._sock.recv(min(remaining, 1 << 20))
+                if timeout_value is not None:
+                    self._sock.settimeout(timeout_value)
+                try:
+                    piece = self._sock.recv(1 << 20)
+                finally:
+                    if timeout_value is not None:
+                        try:
+                            self._sock.settimeout(None)
+                        except OSError:
+                            pass  # closed under us; the recv result decides
+            except (TimeoutError, BlockingIOError, socket.timeout) as exc:
+                raise LaneTimeout(
+                    f"peer sent no complete frame in time "
+                    f"({len(self._rx)}/{n} bytes buffered)"
+                ) from exc
             except OSError as exc:
                 raise TransportError(f"recv failed: {exc}") from exc
             if not piece:
-                if expect_eof and remaining == n:
-                    return None  # clean close on a frame boundary
+                if expect_eof and not self._rx:
+                    return False  # clean close on a frame boundary
                 raise TransportError(
-                    f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+                    f"connection closed mid-frame ({len(self._rx)}/{n} bytes)"
                 )
-            pieces.append(piece)
-            remaining -= len(piece)
-        return b"".join(pieces)
+            self._rx += piece
+        return True
 
     # ----------------------------------------------------------- lifecycle
 
@@ -193,8 +289,11 @@ def connect(host: str, port: int, timeout: float = 5.0) -> Channel:
     """Open a TCP connection to a worker daemon and wrap it in a Channel.
 
     The connect itself is bounded by ``timeout``; the established socket
-    then blocks indefinitely — a killed daemon closes its sockets, which
-    surfaces as EOF, so reads never need a liveness timer of their own.
+    then blocks indefinitely *by default* — a killed daemon closes its
+    sockets, which surfaces as EOF.  A daemon that is hung rather than
+    dead never closes anything, which is why :meth:`Channel.recv` takes
+    a per-call deadline: liveness is the caller's policy
+    (``CPAConfig.request_timeout``), not the socket's.
     """
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
@@ -207,16 +306,21 @@ def connect(host: str, port: int, timeout: float = 5.0) -> Channel:
     return Channel(sock)
 
 
-def request(channel: Channel, message: object) -> Any:
+def request(
+    channel: Channel, message: object, timeout: Optional[float] = None
+) -> Any:
     """One request/reply round-trip, unwrapping the reply envelope.
 
     ``("ok", value)`` returns ``value``; ``("stale", key)`` raises
     :class:`StaleBroadcast` (the client re-broadcasts and retries);
     ``("err", exc, tb)`` re-raises the worker-side exception.  Anything
     else is a framing/protocol bug and raises :class:`TransportError`.
+    ``timeout`` bounds the reply frame (see :meth:`Channel.recv`): a
+    peer that accepted the request but never answers — or answers with a
+    partial frame that stalls — surfaces as :class:`LaneTimeout`.
     """
     channel.send(message)
-    reply = channel.recv()
+    reply = channel.recv(timeout=timeout)
     return unwrap_reply(reply)
 
 
@@ -232,6 +336,8 @@ def unwrap_reply(reply: Any) -> Any:
         return reply[1]
     if tag == "stale" and len(reply) == 2:
         raise StaleBroadcast(reply[1])
+    if tag == "missing" and len(reply) == 2:
+        raise ChunksMissing(reply[1])
     if tag == "err" and len(reply) == 3:
         _, exc, tb_text = reply
         if isinstance(exc, BaseException):
@@ -240,6 +346,17 @@ def unwrap_reply(reply: Any) -> Any:
             )
         raise WorkerFailure(f"remote worker raised: {exc}", tb_text)
     raise TransportError(f"malformed reply envelope: {reply!r}")
+
+
+class LaneTimeout(TransportError):
+    """A per-request deadline expired before the peer's reply completed.
+
+    The channel itself stays aligned (partial progress is buffered in
+    :class:`Channel`), so the caller may keep the connection and poll for
+    the late reply — the lane-health machinery in
+    :class:`~repro.utils.parallel.RemoteExecutor` marks such a lane
+    *suspect* and speculatively re-dispatches its tasks elsewhere.
+    """
 
 
 class StaleBroadcast(Exception):
@@ -253,6 +370,16 @@ class StaleBroadcast(Exception):
         self.key = key
 
 
+class ChunksMissing(Exception):
+    """A worker's ``chunk_assemble`` found some chunks evicted between
+    the probe and the assemble.  Internal control flow — the client
+    re-ships the named chunks (bounded: one fallback, no loop)."""
+
+    def __init__(self, digests: Sequence[bytes]) -> None:
+        super().__init__(f"{len(digests)} chunk(s) missing")
+        self.digests = tuple(digests)
+
+
 # ------------------------------------------------------------------ worker
 
 
@@ -263,13 +390,29 @@ class PayloadRegistry:
     moves it to the back; exceeding the cap drops the front (oldest).
     Thread-safe — a daemon serves each client connection on its own
     thread against this one shared registry.
+
+    Alongside the (count-capped) payload LRU the registry keeps a
+    *byte*-capped chunk index: content-addressed raw chunks from the
+    chunked broadcast protocol, keyed by blake2b-128 digest.  The two
+    caches have independent lifetimes on purpose — evicting a payload
+    does not drop its chunks, which is exactly what lets a re-broadcast
+    after payload eviction cost a probe instead of a re-ship.
     """
 
-    def __init__(self, cap: int = DEFAULT_PAYLOAD_CAP) -> None:
+    def __init__(
+        self,
+        cap: int = DEFAULT_PAYLOAD_CAP,
+        chunk_cache_bytes: int = DEFAULT_CHUNK_CACHE_BYTES,
+    ) -> None:
         if cap < 1:
             raise ValidationError("payload cap must be at least 1")
+        if chunk_cache_bytes < 0:
+            raise ValidationError("chunk cache budget cannot be negative")
         self.cap = int(cap)
+        self.chunk_cache_bytes = int(chunk_cache_bytes)
         self._payloads: Dict[str, object] = {}
+        self._chunks: Dict[bytes, bytes] = {}  # dict order = LRU order
+        self._chunk_bytes_held = 0
         self._lock = threading.Lock()
 
     def put(self, key: str, payload: object) -> None:
@@ -297,6 +440,80 @@ class PayloadRegistry:
     def __len__(self) -> int:
         with self._lock:
             return len(self._payloads)
+
+    def drop_payloads(self) -> None:
+        """Clear the payload LRU but keep the chunk index — the bench and
+        tests use this to model a daemon that lost its armed payloads
+        (restart with a warm peer cache, payload-cap churn) and must be
+        re-armed from chunks alone."""
+        with self._lock:
+            self._payloads.clear()
+
+    # ----------------------------------------------------- chunk index
+
+    def put_chunk(self, digest: bytes, data: bytes) -> None:
+        """Store one content-addressed chunk; digest-verified on arrival
+        so a corrupt frame can never poison the content address space."""
+        if chunk_digest(data) != digest:
+            raise ValidationError(
+                "chunk data does not match its digest; refusing to store"
+            )
+        with self._lock:
+            held = self._chunks.pop(digest, None)
+            if held is not None:
+                self._chunk_bytes_held -= len(held)
+            self._chunks[digest] = data
+            self._chunk_bytes_held += len(data)
+            # byte-capped LRU; never evict the chunk just stored, else an
+            # undersized cache would turn every assemble into a livelock
+            while (
+                self._chunk_bytes_held > self.chunk_cache_bytes
+                and len(self._chunks) > 1
+            ):
+                oldest = next(iter(self._chunks))
+                self._chunk_bytes_held -= len(self._chunks.pop(oldest))
+
+    def missing_chunks(self, digests: Sequence[bytes]) -> List[bytes]:
+        """Digests from ``digests`` not held here; held ones are
+        LRU-touched so a probe pins what the assemble is about to use."""
+        missing: List[bytes] = []
+        with self._lock:
+            for digest in digests:
+                data = self._chunks.pop(digest, None)
+                if data is None:
+                    missing.append(digest)
+                else:
+                    self._chunks[digest] = data  # refresh recency
+        return missing
+
+    def assemble(self, key: str, digests: Sequence[bytes]) -> Tuple[bytes, ...]:
+        """Rebuild the payload under ``key`` from held chunks.
+
+        Returns the (possibly empty) tuple of digests still missing; on
+        any miss nothing is stored, and the client re-ships those chunks.
+        """
+        with self._lock:
+            pieces: List[bytes] = []
+            missing: List[bytes] = []
+            for digest in digests:
+                data = self._chunks.pop(digest, None)
+                if data is None:
+                    missing.append(digest)
+                    continue
+                self._chunks[digest] = data  # refresh recency
+                pieces.append(data)
+            if missing:
+                return tuple(missing)
+            payload = pickle.loads(b"".join(pieces))
+            self._payloads.pop(key, None)
+            self._payloads[key] = payload
+            while len(self._payloads) > self.cap:
+                self._payloads.pop(next(iter(self._payloads)))
+            return ()
+
+    def chunk_count(self) -> int:
+        with self._lock:
+            return len(self._chunks)
 
 
 def handle_request(message: Any, registry: PayloadRegistry) -> Tuple:
@@ -329,6 +546,19 @@ def handle_request(message: Any, registry: PayloadRegistry) -> Tuple:
         if op == "map_tasks":
             _, func, tasks = message
             return ("ok", [func(task) for task in tasks])
+        if op == "chunk_probe":
+            _, digests = message
+            return ("ok", registry.missing_chunks(digests))
+        if op == "chunk_put":
+            _, digest, data = message
+            registry.put_chunk(digest, data)
+            return ("ok", None)
+        if op == "chunk_assemble":
+            _, key, digests = message
+            missing = registry.assemble(key, digests)
+            if missing:
+                return ("missing", list(missing))
+            return ("ok", None)
         if op == "shutdown":
             return ("ok", None)
         raise ValidationError(f"unknown request op {op!r}")
@@ -357,8 +587,9 @@ class WorkerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         payload_cap: int = DEFAULT_PAYLOAD_CAP,
+        chunk_cache_bytes: int = DEFAULT_CHUNK_CACHE_BYTES,
     ) -> None:
-        self.registry = PayloadRegistry(payload_cap)
+        self.registry = PayloadRegistry(payload_cap, chunk_cache_bytes)
         self._listener = socket.create_server((host, port))
         # accept() with a short timeout: closing a socket does not wake a
         # thread blocked in accept() on Linux, so the loop polls the
@@ -419,8 +650,13 @@ class WorkerServer:
         self._accept_thread.start()
         return self
 
+    def _make_channel(self, conn: socket.socket) -> Channel:
+        """Seam for the test harness: wrap accepted sockets (e.g. to
+        inject stalls) without touching the serve loop."""
+        return Channel(conn)
+
     def _serve_connection(self, conn: socket.socket) -> None:
-        channel = Channel(conn)
+        channel = self._make_channel(conn)
         try:
             while not self._shutdown.is_set():
                 try:

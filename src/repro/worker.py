@@ -19,6 +19,12 @@ Flags
     matching the in-process pool lanes).  An evicted payload is
     re-broadcast by the client on next use, so a small cap trades
     re-transfer for bounded memory.
+``--chunk-cache-mb N``
+    Byte budget (in MiB, default 256) for the content-addressed chunk
+    cache behind the chunked broadcast protocol.  Chunks outlive the
+    payloads assembled from them, so a client re-arming this daemon
+    after payload eviction pays a digest probe instead of a re-ship;
+    0 keeps only the most recent chunk (effectively disabling reuse).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.utils.transport import (
+    DEFAULT_CHUNK_CACHE_BYTES,
     DEFAULT_PAYLOAD_CAP,
     WorkerServer,
     parse_address,
@@ -57,13 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_PAYLOAD_CAP,
         help="resident broadcast payloads kept before LRU eviction",
     )
+    parser.add_argument(
+        "--chunk-cache-mb",
+        type=int,
+        default=DEFAULT_CHUNK_CACHE_BYTES >> 20,
+        help="MiB of content-addressed broadcast chunks kept for reuse",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     host, port = parse_address(args.listen)
-    server = WorkerServer(host, port, payload_cap=args.payload_cap)
+    server = WorkerServer(
+        host,
+        port,
+        payload_cap=args.payload_cap,
+        chunk_cache_bytes=args.chunk_cache_mb << 20,
+    )
     if args.port_file is not None:
         args.port_file.write_text(server.address + "\n", encoding="utf-8")
     print(f"repro worker listening on {server.address}", flush=True)

@@ -24,7 +24,11 @@ from repro.utils.parallel import RemoteExecutor
 from repro.utils.transport import WorkerServer
 
 from tests.test_sharded import _assert_states_close
-from tests.transport_harness import KillAfterMapOn, worker_fleet
+from tests.transport_harness import (
+    KillAfterMapOn,
+    StallingWorkerServer,
+    worker_fleet,
+)
 
 pytestmark = pytest.mark.network
 
@@ -168,6 +172,183 @@ class TestConfigDrivenRemote:
                 assert remote.sweep() == serial.sweep()
             _assert_states_close(remote.state, serial.state, BITWISE)
             remote.executor.close()
+
+
+# ------------------------------------------------------- stragglers (hangs)
+
+
+class TestStragglerChaos:
+    """Daemons that *hang* rather than die (DESIGN.md §6 "Elastic fleet").
+
+    A hang is strictly nastier than a crash: the socket stays open, so
+    without per-request deadlines the client blocks forever.  The
+    contract: a hung daemon delays a sweep, never stalls it, and the
+    trajectory stays bitwise equal to serial — speculative re-dispatch
+    re-runs the pure task functions, so the surviving copy of each
+    result is identical to the one the straggler owed.
+    """
+
+    def test_mid_sweep_hang_delays_but_stays_bitwise_equal(self, tiny_dataset):
+        config = _config(3)
+        serial = VariationalInference(config, tiny_dataset.answers)
+        # init issues one map_on dispatch, each sweep three: occurrence 4
+        # hangs the victim inside sweep 2
+        victim = StallingWorkerServer(stall_at=[("map_on", 4)]).serve_in_thread()
+        survivor = WorkerServer().serve_in_thread()
+        try:
+            executor = RemoteExecutor(
+                [victim.address, survivor.address],
+                request_timeout=0.3,
+                straggler_grace=60.0,  # stay suspect: membership unchanged
+            )
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            for _ in range(4):
+                assert remote.sweep() == serial.sweep()
+            assert remote.elbo() == serial.elbo()
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            # the hang delayed one dispatch; the fleet stayed whole
+            assert len(executor.live_workers()) == 2
+            victim.unstall()
+            executor.close()
+        finally:
+            victim.close()
+            survivor.close()
+
+    def test_hung_handler_recovery_rejoins_the_sweep(self, tiny_dataset):
+        """With a zero grace window the suspect is reconnected at once —
+        the fresh connection gets a fresh handler thread, so the lane
+        rejoins and keeps serving while the old handler stays parked."""
+        config = _config(2)
+        serial = VariationalInference(config, tiny_dataset.answers)
+        victim = StallingWorkerServer(stall_at=[("map_on", 3)]).serve_in_thread()
+        survivor = WorkerServer().serve_in_thread()
+        try:
+            executor = RemoteExecutor(
+                [victim.address, survivor.address],
+                request_timeout=0.2,
+                straggler_grace=0.0,
+                reconnects=3,
+            )
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            for _ in range(4):
+                assert remote.sweep() == serial.sweep()
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            assert len(executor.live_workers()) == 2
+            assert victim.stalled == 1  # the hung handler is still parked
+            victim.unstall()
+            executor.close()
+        finally:
+            victim.close()
+            survivor.close()
+
+
+# ------------------------------------------------------- elastic membership
+
+
+class TestElasticMembership:
+    """Runtime joins/drains re-plan the shard count between sweeps.
+
+    Auto-K plans (``n_shards=0``) size K from the executor's degree;
+    when membership changes between sweeps, :meth:`sweep` re-plans and
+    the serial twin — re-planned to the same K at the same boundary —
+    must stay bitwise equal (merges are fixed-shard-order).
+    """
+
+    def test_worker_join_mid_inference_replans_bitwise(self, tiny_dataset):
+        config = _config(0)  # auto-K: one shard per lane
+        serial = VariationalInference(config, tiny_dataset.answers)
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor([servers[0].address])
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            assert remote.kernel.n_shards == serial.kernel.n_shards == 1
+            for _ in range(2):
+                assert remote.sweep() == serial.sweep()
+            executor.add_worker(servers[1].address)
+            # mirror the automatic re-plan on the serial twin
+            expected_k = config.resolve_shards(2, remote.n_items)
+            serial.replan_shards(n_shards=expected_k)
+            for _ in range(3):
+                assert remote.sweep() == serial.sweep()
+            assert remote.kernel.n_shards == expected_k  # the re-plan fired
+            assert remote.elbo() == serial.elbo()
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            # the joining daemon really carried work
+            assert servers[1].op_counts.get("map_on", 0) > 0
+            executor.close()
+
+    def test_worker_drain_mid_inference_replans_bitwise(self, tiny_dataset):
+        config = _config(0)
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor([s.address for s in servers])
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            k_before = remote.kernel.n_shards
+            assert k_before == 2
+            # serial twin pinned to the same starting K (explicit K builds
+            # the identical plan; only the auto re-plan trigger differs)
+            serial = VariationalInference(_config(k_before), tiny_dataset.answers)
+            for _ in range(2):
+                assert remote.sweep() == serial.sweep()
+            executor.remove_worker(servers[0].address)
+            k_after = config.resolve_shards(1, remote.n_items)
+            serial.replan_shards(n_shards=k_after)
+            for _ in range(2):
+                assert remote.sweep() == serial.sweep()
+            assert remote.kernel.n_shards == k_after
+            assert remote.elbo() == serial.elbo()
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            # the drained daemon was released of this client's payloads
+            assert len(servers[0].registry) == 0
+            executor.close()
+
+    def test_explicit_shard_count_is_never_silently_replanned(self, tiny_dataset):
+        """An explicit K is a user decision; membership drift must not
+        override it (only auto-K plans resize)."""
+        config = _config(2)
+        serial = VariationalInference(config, tiny_dataset.answers)
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor([servers[0].address])
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            assert remote.sweep() == serial.sweep()
+            executor.add_worker(servers[1].address)
+            for _ in range(2):
+                assert remote.sweep() == serial.sweep()
+            assert remote.kernel.n_shards == 2  # unchanged
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            executor.close()
+
+    def test_chunked_rebroadcast_after_payload_churn(self, tiny_dataset):
+        """Daemon payload churn mid-fit re-arms from the chunk index: the
+        re-arm costs probe+assemble frames, not a full plan re-ship, and
+        the trajectory stays bitwise serial."""
+        config = _config(2)
+        serial = VariationalInference(config, tiny_dataset.answers)
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor(
+                [s.address for s in servers], chunk_bytes=4096
+            )
+            remote = VariationalInference(
+                config, tiny_dataset.answers, executor=executor
+            )
+            assert remote.sweep() == serial.sweep()
+            assert executor._manifests  # the plan really is chunked
+            shipped = executor.broadcast_sent_bytes
+            servers[0].registry.drop_payloads()  # payloads gone, chunks kept
+            for _ in range(3):
+                assert remote.sweep() == serial.sweep()
+            _assert_states_close(remote.state, serial.state, BITWISE)
+            delta = executor.broadcast_sent_bytes - shipped
+            assert 0 < delta < shipped // 10
+            executor.close()
 
 
 # ----------------------------------------------------------------------- SVI

@@ -118,6 +118,29 @@ class TestConfig:
         assert pool.degree == 2
         pool.close()
 
+    def test_request_timeout_field_validated(self):
+        assert CPAConfig().request_timeout == 30.0
+        CPAConfig(request_timeout=0.0)  # 0 disables deadlines
+        with pytest.raises(ValidationError, match="request_timeout"):
+            CPAConfig(request_timeout=-1.0)
+
+    def test_resolve_executor_arms_deadlines_on_remote_lanes_only(self):
+        """The config's request_timeout must reach remote lanes but never
+        the local kinds (make_executor refuses it there)."""
+        from repro.utils.parallel import SerialExecutor
+
+        config = CPAConfig(
+            executor="remote",
+            workers=("127.0.0.1:9001",),
+            request_timeout=2.5,
+        )
+        pool = config.resolve_executor()
+        assert pool._request_timeout == 2.5
+        pool.close()
+        local = CPAConfig(request_timeout=2.5).resolve_executor()
+        assert isinstance(local, SerialExecutor)
+        local.close()
+
 
 class TestStateInit:
     def test_random_init_valid(self):

@@ -33,19 +33,24 @@ from repro.utils.parallel import RemoteExecutor, SerialExecutor, make_executor
 from repro.utils.transport import (
     MAX_FRAME_BYTES,
     Channel,
+    ChunksMissing,
+    LaneTimeout,
     PayloadRegistry,
     StaleBroadcast,
     WorkerServer,
+    chunk_digest,
     connect,
     dumps,
     handle_request,
     parse_address,
     request,
+    split_chunks,
     unwrap_reply,
 )
 
 from tests.transport_harness import (
     FaultSchedule,
+    StallingWorkerServer,
     SubprocessWorker,
     faulty_lane_factory,
     remote_pool,
@@ -187,6 +192,89 @@ class TestFraming:
             a.send("x")
 
 
+# ---------------------------------------------------------------- deadlines
+
+
+class TestRecvDeadlines:
+    def test_silent_peer_raises_lane_timeout(self):
+        a, b = _channel_pair()
+        start = time.monotonic()
+        with pytest.raises(LaneTimeout):
+            b.recv(timeout=0.1)
+        assert time.monotonic() - start < 2.0
+        a.close(), b.close()
+
+    def test_lane_timeout_is_a_transport_error(self):
+        """Callers that only know the generic lane-failure contract must
+        catch a deadline expiry with their existing except clause."""
+        assert issubclass(LaneTimeout, TransportError)
+
+    def test_partial_frame_timeout_keeps_the_stream_aligned(self):
+        """A deadline that expires mid-frame must not desync the channel:
+        the partial bytes stay buffered and a later recv resumes the
+        same frame (this is what lets a suspect lane's channel be kept)."""
+        a, b = _channel_pair()
+        body = dumps({"x": list(range(500))})
+        frame = struct.pack(">Q", len(body)) + body
+        a.send_raw(frame[: len(frame) // 2])
+        with pytest.raises(LaneTimeout):
+            b.recv(timeout=0.05)
+        a.send_raw(frame[len(frame) // 2 :])
+        assert b.recv(timeout=5.0) == {"x": list(range(500))}
+        a.send("next")  # and the next frame still parses
+        assert b.recv(timeout=5.0) == "next"
+        a.close(), b.close()
+
+    def test_zero_timeout_polls_without_blocking(self):
+        a, b = _channel_pair()
+        start = time.monotonic()
+        with pytest.raises(LaneTimeout):
+            b.recv(timeout=0)
+        assert time.monotonic() - start < 0.5  # a poll, not a wait
+        a.send("hello")
+        assert b.recv(timeout=0) == "hello"
+        a.close(), b.close()
+
+    def test_request_surfaces_a_missing_reply_as_lane_timeout(self):
+        a, b = _channel_pair()
+        with pytest.raises(LaneTimeout):
+            request(a, ("ping",), timeout=0.05)
+        a.close(), b.close()
+
+
+@network
+class TestHungPeer:
+    def test_accepting_but_silent_peer_times_out_instead_of_hanging(self):
+        """The failure deadlines exist for: the TCP connect succeeds (the
+        backlog accepts it), the request is sent, and nothing ever comes
+        back — only the reply deadline can save the caller."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        try:
+            host, port = listener.getsockname()[:2]
+            channel = connect(host, port)
+            start = time.monotonic()
+            with pytest.raises(LaneTimeout):
+                request(channel, ("ping",), timeout=0.2)
+            assert time.monotonic() - start < 5.0
+            channel.close()
+        finally:
+            listener.close()
+
+    def test_hung_handler_sends_its_late_reply_after_release(self):
+        """A stalled daemon handler holds the reply, not the stream: once
+        released, the reply arrives on the same still-aligned channel."""
+        server = StallingWorkerServer(stall_at=[("ping", 0)]).serve_in_thread()
+        try:
+            channel = connect(server.host, server.port)
+            with pytest.raises(LaneTimeout):
+                request(channel, ("ping",), timeout=0.2)
+            server.unstall()
+            assert unwrap_reply(channel.recv(timeout=5.0)) == "pong"
+            channel.close()
+        finally:
+            server.close()
+
+
 # ----------------------------------------------------------- reply envelope
 
 
@@ -318,6 +406,135 @@ class TestHandleRequest:
         for bad in (("warp", 1), "just-a-string", ()):
             reply = handle_request(bad, PayloadRegistry())
             assert reply[0] == "err"
+
+
+# ----------------------------------------------------- content-addressed store
+
+
+class TestChunkHelpers:
+    def test_split_reassembles_exactly(self):
+        blob = bytes(range(256)) * 40
+        chunks = split_chunks(blob, 4096)
+        assert [len(chunk) for chunk in chunks] == [4096, 4096, 2048]
+        assert b"".join(chunks) == blob
+
+    def test_empty_blob_has_no_chunks(self):
+        assert split_chunks(b"", 1024) == []
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValidationError):
+            split_chunks(b"abc", 0)
+
+    def test_digest_is_content_addressed(self):
+        assert chunk_digest(b"abc") == chunk_digest(b"abc")
+        assert chunk_digest(b"abc") != chunk_digest(b"abd")
+        assert len(chunk_digest(b"")) == 16
+
+
+class TestChunkIndex:
+    def test_put_verifies_the_digest(self):
+        """A corrupt frame must never poison the content address space."""
+        registry = PayloadRegistry()
+        with pytest.raises(ValidationError, match="digest"):
+            registry.put_chunk(chunk_digest(b"aaa"), b"bbb")
+        assert registry.chunk_count() == 0
+
+    def test_probe_reports_only_the_missing_digests(self):
+        registry = PayloadRegistry()
+        held, absent = b"held-bytes", b"absent-bytes"
+        registry.put_chunk(chunk_digest(held), held)
+        missing = registry.missing_chunks(
+            [chunk_digest(held), chunk_digest(absent)]
+        )
+        assert missing == [chunk_digest(absent)]
+
+    def test_assemble_rebuilds_the_payload_under_its_key(self):
+        registry = PayloadRegistry()
+        blob = dumps(list(range(1000)))
+        digests = []
+        for chunk in split_chunks(blob, 64):
+            digest = chunk_digest(chunk)
+            digests.append(digest)
+            registry.put_chunk(digest, chunk)
+        assert registry.assemble("plan", digests) == ()
+        assert registry.get("plan") == list(range(1000))
+
+    def test_assemble_with_missing_chunks_stores_nothing(self):
+        registry = PayloadRegistry()
+        digests = [chunk_digest(chunk) for chunk in split_chunks(dumps("p"), 4)]
+        missing = registry.assemble("plan", digests)
+        assert set(missing) == set(digests)
+        assert registry.keys() == ()
+
+    def test_chunk_cache_is_byte_capped_lru(self):
+        registry = PayloadRegistry(chunk_cache_bytes=100)
+        old, new = b"x" * 60, b"y" * 60
+        registry.put_chunk(chunk_digest(old), old)
+        registry.put_chunk(chunk_digest(new), new)  # 120 > 100: old evicted
+        assert registry.missing_chunks([chunk_digest(old)]) == [chunk_digest(old)]
+        assert registry.missing_chunks([chunk_digest(new)]) == []
+
+    def test_cache_never_evicts_the_chunk_just_stored(self):
+        """An undersized cache must degrade to single-chunk residency, not
+        livelock every assemble by evicting what was just shipped."""
+        registry = PayloadRegistry(chunk_cache_bytes=10)
+        big = b"z" * 64  # alone over budget
+        registry.put_chunk(chunk_digest(big), big)
+        assert registry.missing_chunks([chunk_digest(big)]) == []
+
+    def test_drop_payloads_keeps_the_chunk_index(self):
+        """The two caches have independent lifetimes on purpose: payload
+        churn must leave the chunks behind for the cheap re-arm."""
+        registry = PayloadRegistry()
+        blob = dumps([1, 2, 3])
+        digests = []
+        for chunk in split_chunks(blob, 8):
+            digest = chunk_digest(chunk)
+            digests.append(digest)
+            registry.put_chunk(digest, chunk)
+        assert registry.assemble("plan", digests) == ()
+        registry.drop_payloads()
+        assert len(registry) == 0
+        assert registry.chunk_count() == len(digests)
+        assert registry.assemble("plan", digests) == ()  # re-armed from chunks
+
+
+class TestHandleRequestChunkOps:
+    def test_probe_put_assemble_cycle(self):
+        registry = PayloadRegistry()
+        blob = dumps(list(range(64)))
+        chunks = split_chunks(blob, 16)
+        digests = [chunk_digest(chunk) for chunk in chunks]
+        assert handle_request(("chunk_probe", digests), registry) == (
+            "ok",
+            digests,
+        )
+        for digest, data in zip(digests, chunks):
+            assert handle_request(("chunk_put", digest, data), registry) == (
+                "ok",
+                None,
+            )
+        assert handle_request(("chunk_probe", digests), registry) == ("ok", [])
+        assert handle_request(("chunk_assemble", "plan", digests), registry) == (
+            "ok",
+            None,
+        )
+        assert registry.get("plan") == list(range(64))
+
+    def test_assemble_miss_replies_missing_and_unwrap_raises(self):
+        registry = PayloadRegistry()
+        digests = [chunk_digest(b"gone")]
+        reply = handle_request(("chunk_assemble", "plan", digests), registry)
+        assert reply == ("missing", digests)
+        with pytest.raises(ChunksMissing) as excinfo:
+            unwrap_reply(reply)
+        assert excinfo.value.digests == tuple(digests)
+
+    def test_corrupt_chunk_put_replies_err(self):
+        reply = handle_request(
+            ("chunk_put", chunk_digest(b"a"), b"b"), PayloadRegistry()
+        )
+        assert reply[0] == "err"
 
 
 # ------------------------------------------------------- daemons over TCP
@@ -676,6 +893,328 @@ class TestRemoteExecutor:
             executor.close()
 
 
+# ------------------------------------------------------- chunked broadcast
+
+
+@network
+class TestChunkedBroadcast:
+    def test_chunked_payload_round_trips_bitwise(self):
+        rng = np.random.default_rng(5)
+        payload = rng.random((64, 64))  # ~32 KiB pickled: several chunks
+        tasks = [rng.random(64) for _ in range(6)]
+        serial = SerialExecutor()
+        serial.broadcast("m", payload)
+        expected = serial.map_on("m", _dot, tasks)
+        with remote_pool(2, chunk_bytes=4096) as (executor, servers):
+            executor.broadcast("m", payload)
+            out = executor.map_on("m", _dot, tasks)
+            # the payload crossed as content-addressed chunks, never as a
+            # monolithic blob
+            assert all(s.op_counts.get("chunk_put", 0) > 1 for s in servers)
+            assert all("broadcast" not in s.op_counts for s in servers)
+        for got, want in zip(out, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_rearm_after_payload_eviction_costs_a_probe_not_a_reship(self):
+        payload = np.arange(1 << 15, dtype=np.float64)  # 256 KiB
+        with remote_pool(1, chunk_bytes=4096) as (executor, servers):
+            executor.broadcast("plan", payload)
+            shipped = executor.broadcast_sent_bytes
+            assert shipped > (1 << 15) * 8
+            puts = servers[0].op_counts.get("chunk_put", 0)
+            assert puts > 1
+            # the daemon loses its *payloads* but keeps its chunk index
+            # (restart with a warm cache, payload-cap churn)
+            servers[0].registry.drop_payloads()
+            out = executor.map_on("plan", _shape_of, [0])
+            assert out == [1 << 15]
+            delta = executor.broadcast_sent_bytes - shipped
+            # re-arm = probe + assemble frames only: no chunk re-ships
+            assert 0 < delta < shipped // 10
+            assert servers[0].op_counts.get("chunk_put", 0) == puts
+
+    def test_replacement_daemon_with_cold_cache_gets_the_chunks(self):
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor([servers[0].address], chunk_bytes=1024)
+            payload = list(range(5000))
+            executor.broadcast("plan", payload)
+            executor.add_worker(servers[1].address)
+            assert executor.map_on("plan", _len_of, [0, 1]) == [5000, 5000]
+            assert servers[1].op_counts.get("chunk_put", 0) > 1
+            executor.close()
+
+    def test_undersized_daemon_chunk_cache_falls_back_to_monolithic(self):
+        """chunk_cache_bytes=0 keeps only the most recent chunk, so every
+        assemble misses; the client must fall back to one bounded
+        monolithic broadcast instead of looping the chunk protocol."""
+        server = WorkerServer(chunk_cache_bytes=0).serve_in_thread()
+        try:
+            executor = RemoteExecutor([server.address], chunk_bytes=512)
+            payload = bytes(8192)
+            executor.broadcast("plan", payload)
+            assert executor.map_on("plan", _len_of, [0]) == [8192]
+            assert server.op_counts.get("broadcast") == 1  # the fallback
+            executor.close()
+        finally:
+            server.close()
+
+    def test_chunking_disabled_ships_monolithically(self):
+        with remote_pool(1, chunk_bytes=0) as (executor, servers):
+            executor.broadcast("plan", bytes(1 << 16))
+            assert executor.map_on("plan", _len_of, [0]) == [1 << 16]
+            assert servers[0].op_counts.get("broadcast") == 1
+            assert "chunk_put" not in servers[0].op_counts
+
+
+# ------------------------------------------------------ straggler mitigation
+
+
+@network
+class TestStragglerMitigation:
+    def test_hung_daemon_is_suspected_and_its_tasks_rerouted(self):
+        victim = StallingWorkerServer(stall_at=[("map_on", 0)]).serve_in_thread()
+        survivor = WorkerServer().serve_in_thread()
+        try:
+            executor = RemoteExecutor(
+                [victim.address, survivor.address],
+                request_timeout=0.2,
+                straggler_grace=60.0,  # stay suspect: no reconnect here
+            )
+            executor.broadcast("base", 100)
+            tasks = list(range(8))
+            assert executor.map_on("base", _plus, tasks) == [
+                100 + t for t in tasks
+            ]
+            # suspect, not excluded: still a fleet member
+            assert len(executor.live_workers()) == 2
+            assert executor.degree == 2
+            # the survivor computed the victim's share too
+            assert survivor.op_counts.get("map_on", 0) >= 2
+            victim.unstall()
+            executor.broadcast("base", 200)  # settles the suspect first
+            before = victim.op_counts.get("map_on", 0)
+            assert executor.map_on("base", _plus, tasks) == [
+                200 + t for t in tasks
+            ]
+            # the recovered lane serves again
+            assert victim.op_counts.get("map_on", 0) > before
+            executor.close()
+        finally:
+            victim.close()
+            survivor.close()
+
+    def test_late_reply_from_a_finished_call_is_discarded(self):
+        """First result wins; a stale reply harvested during a *later*
+        call carries an old dispatch token and must fill nothing."""
+        victim = StallingWorkerServer(stall_at=[("map_on", 0)]).serve_in_thread()
+        survivor = WorkerServer().serve_in_thread()
+        try:
+            executor = RemoteExecutor(
+                [victim.address, survivor.address],
+                request_timeout=0.2,
+                straggler_grace=60.0,
+            )
+            executor.broadcast("base", 0)
+            assert executor.map_on("base", _plus, [1, 2, 3, 4]) == [1, 2, 3, 4]
+            victim.unstall()  # call #1's reply is now in flight
+            # different tasks: a misrouted stale reply would corrupt these
+            assert executor.map_on("base", _plus, [10, 20, 30, 40]) == [
+                10,
+                20,
+                30,
+                40,
+            ]
+            executor.close()
+        finally:
+            victim.close()
+            survivor.close()
+
+    def test_map_tasks_also_reroutes_around_a_hung_lane(self):
+        victim = StallingWorkerServer(
+            stall_at=[("map_tasks", 0)]
+        ).serve_in_thread()
+        survivor = WorkerServer().serve_in_thread()
+        try:
+            executor = RemoteExecutor(
+                [victim.address, survivor.address],
+                request_timeout=0.2,
+                straggler_grace=60.0,
+            )
+            assert executor.map_tasks(_double, list(range(10))) == [
+                2 * i for i in range(10)
+            ]
+            victim.unstall()
+            executor.close()
+        finally:
+            victim.close()
+            survivor.close()
+
+    def test_grace_expiry_reconnect_cures_a_hung_handler(self):
+        """The daemon is alive but one handler thread is parked: a fresh
+        connection gets a fresh handler, so the lane rejoins the fleet."""
+        victim = StallingWorkerServer(stall_at=[("map_on", 0)]).serve_in_thread()
+        survivor = WorkerServer().serve_in_thread()
+        try:
+            executor = RemoteExecutor(
+                [victim.address, survivor.address],
+                request_timeout=0.1,
+                straggler_grace=0.0,  # expire immediately: reconnect now
+                reconnects=2,
+            )
+            executor.broadcast("base", 0)
+            assert executor.map_on("base", _plus, list(range(6))) == list(
+                range(6)
+            )
+            assert len(executor.live_workers()) == 2
+            # the old handler is still parked (its request never reached
+            # op_counts); a fresh handler served the retried tasks
+            assert victim.stalled == 1
+            assert victim.op_counts.get("map_on", 0) >= 1
+            executor.close()
+        finally:
+            victim.close()
+            survivor.close()
+
+    def test_suspect_past_grace_with_no_reconnects_is_excluded(self):
+        victim = StallingWorkerServer(stall_at=[("map_on", 0)]).serve_in_thread()
+        survivor = WorkerServer().serve_in_thread()
+        try:
+            executor = RemoteExecutor(
+                [victim.address, survivor.address],
+                request_timeout=0.1,
+                straggler_grace=0.5,
+                reconnects=0,
+            )
+            executor.broadcast("base", 0)
+            tasks = list(range(6))
+            assert executor.map_on("base", _plus, tasks) == tasks
+            time.sleep(0.7)  # past the grace window
+            assert executor.map_on("base", _plus, tasks) == tasks
+            assert executor.live_workers() == [survivor.address]
+            executor.close()
+        finally:
+            victim.close()
+            survivor.close()
+
+    def test_zero_timeout_default_never_arms_deadlines(self):
+        """Pre-elastic behaviour is the constructor default: no deadline,
+        no suspects, replies awaited indefinitely."""
+        with remote_pool(1) as (executor, _):
+            assert executor._request_timeout == 0.0
+            executor.broadcast("base", 1)
+            assert executor.map_on("base", _plus, [1]) == [2]
+            assert all(lane.health == "live" for lane in executor._lanes)
+
+
+# ------------------------------------------------------- reconnect backoff
+
+
+@network
+class TestReconnectBackoff:
+    def test_backoff_delays_are_exponential_and_jittered(self, monkeypatch):
+        from repro.utils import parallel as parallel_module
+
+        sleeps = []
+        monkeypatch.setattr(parallel_module, "_sleep", sleeps.append)
+        with worker_fleet(1) as servers:
+            executor = RemoteExecutor(
+                [servers[0].address],
+                reconnects=5,
+                reconnect_backoff=0.05,
+                reconnect_budget=60.0,
+            )
+            executor.broadcast("base", 1)
+            servers[0].kill()
+            with pytest.raises(TransportError, match="all remote workers"):
+                executor.map_on("base", _plus, [1, 2])
+            executor.close()
+        # first attempt is immediate; each later attempt backs off
+        assert len(sleeps) == 4
+        for index, delay in enumerate(sleeps):
+            base = 0.05 * (2**index)
+            assert 0.5 * base <= delay < 1.5 * base
+
+    def test_reconnect_budget_bounds_the_retry_storm(self, monkeypatch):
+        from repro.utils import parallel as parallel_module
+
+        sleeps = []
+        monkeypatch.setattr(parallel_module, "_sleep", sleeps.append)
+        with worker_fleet(1) as servers:
+            executor = RemoteExecutor(
+                [servers[0].address],
+                reconnects=50,
+                reconnect_backoff=10.0,
+                reconnect_budget=0.5,
+            )
+            executor.broadcast("base", 1)
+            servers[0].kill()
+            with pytest.raises(TransportError, match="all remote workers"):
+                executor.map_on("base", _plus, [1])
+            executor.close()
+        # a 10 s gap never fits the 0.5 s budget: one immediate attempt,
+        # zero sleeps — the tight reconnect loop is gone for good
+        assert sleeps == []
+
+
+# ------------------------------------------------------- runtime membership
+
+
+@network
+class TestRuntimeMembership:
+    def test_remove_worker_drains_and_detaches(self):
+        with remote_pool(2) as (executor, servers):
+            executor.broadcast("base", 3)
+            executor.map_on("base", _plus, [1, 2])
+            executor.remove_worker(servers[0].address)
+            assert executor.degree == 1
+            assert executor.live_workers() == [servers[1].address]
+            # drain released this client's payloads on the leaving daemon
+            assert len(servers[0].registry) == 0
+            assert len(servers[1].registry) == 1
+            assert executor.map_on("base", _plus, [1, 2]) == [4, 5]
+
+    def test_remove_unknown_worker_is_loud(self):
+        with remote_pool(1) as (executor, _):
+            with pytest.raises(ConfigurationError, match="no lane"):
+                executor.remove_worker("127.0.0.1:1")
+
+    def test_remove_last_live_worker_is_refused(self):
+        with remote_pool(1) as (executor, servers):
+            with pytest.raises(ConfigurationError, match="last live lane"):
+                executor.remove_worker(servers[0].address)
+            # the refusal changed nothing
+            assert executor.live_workers() == [servers[0].address]
+
+    def test_removing_an_excluded_lane_is_allowed(self):
+        with remote_pool(2) as (executor, servers):
+            executor.broadcast("base", 0)
+            servers[0].kill()
+            executor.map_on("base", _plus, [1])  # excludes lane 0
+            assert executor.degree == 1
+            executor.remove_worker(servers[0].address)
+            assert executor.live_workers() == [servers[1].address]
+
+    def test_remove_then_add_back_rearms_lazily(self):
+        with remote_pool(2) as (executor, servers):
+            executor.broadcast("base", 9)
+            executor.remove_worker(servers[0].address)
+            executor.add_worker(servers[0].address)
+            assert executor.degree == 2
+            assert executor.map_on("base", _plus, [0, 1]) == [9, 10]
+            assert servers[0].op_counts.get("broadcast") == 2  # re-armed
+
+    def test_membership_ops_on_closed_executor_are_loud(self):
+        """A closed executor names its kind in the refusal — the caller
+        holding a stale handle learns *which* pool is gone."""
+        with worker_fleet(2) as servers:
+            executor = RemoteExecutor([servers[0].address])
+            executor.close()
+            with pytest.raises(ConfigurationError, match="remote executor"):
+                executor.add_worker(servers[1].address)
+            with pytest.raises(ConfigurationError, match="remote executor"):
+                executor.remove_worker(servers[0].address)
+
+
 # --------------------------------------------------------- factory plumbing
 
 
@@ -698,6 +1237,14 @@ class TestRemoteFactory:
             assert executor.degree == 1
             executor.close()
 
+    def test_request_timeout_reaches_the_lanes(self):
+        with worker_fleet(1) as servers:
+            executor = make_executor(
+                "remote", workers=[servers[0].address], request_timeout=7.5
+            )
+            assert executor._request_timeout == 7.5
+            executor.close()
+
 
 class TestRemoteFactoryValidation:
     def test_remote_without_workers_rejected(self):
@@ -710,6 +1257,16 @@ class TestRemoteFactoryValidation:
         with pytest.raises(ConfigurationError, match="remote"):
             make_executor("thread", 2, workers=["h:1"])
 
+    def test_request_timeout_on_local_kinds_rejected(self):
+        with pytest.raises(ConfigurationError, match="request_timeout"):
+            make_executor("thread", 2, request_timeout=1.0)
+
+    def test_negative_elastic_knobs_rejected(self):
+        with pytest.raises(ConfigurationError, match="request_timeout"):
+            RemoteExecutor(["h:1"], request_timeout=-1.0)
+        with pytest.raises(ConfigurationError, match="chunk_bytes"):
+            RemoteExecutor(["h:1"], chunk_bytes=-1)
+
     def test_bad_addresses_rejected_eagerly(self):
         with pytest.raises(ValidationError):
             RemoteExecutor(["no-port"])
@@ -717,6 +1274,10 @@ class TestRemoteFactoryValidation:
 
 def _chunk_to_list(chunk):
     return list(chunk)
+
+
+def _len_of(payload, task):
+    return len(payload)
 
 
 def _shape_of(payload, task):

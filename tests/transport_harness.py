@@ -31,6 +31,7 @@ import struct
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -196,13 +197,13 @@ class FaultyChannel(Channel):
             raise TransportError(f"injected truncation at send #{index}")
         super().send(message)
 
-    def recv(self):
+    def recv(self, timeout=None):
         index = self._recvs
         self._recvs += 1
         if index in self._schedule.drop_recv_at:
             self.close()
             raise TransportError(f"injected drop before recv #{index}")
-        return super().recv()
+        return super().recv(timeout=timeout)
 
 
 def faulty_lane_factory(
@@ -228,6 +229,79 @@ def faulty_lane_factory(
         return FaultyChannel(sock, schedule)
 
     return factory
+
+
+class _StallingChannel(Channel):
+    """Server-side channel that parks the handler thread on a gate just
+    after reading a scheduled request — the daemon has *accepted* the
+    work but never answers until released."""
+
+    def __init__(self, sock, server: "StallingWorkerServer") -> None:
+        super().__init__(sock)
+        self._server = server
+
+    def recv_or_eof(self):
+        alive, message = super().recv_or_eof()
+        if alive:
+            self._server._maybe_stall(message)
+        return alive, message
+
+
+class StallingWorkerServer(WorkerServer):
+    """A daemon that *hangs* (does not die) on schedule — the straggler.
+
+    ``stall_at`` is a set of ``(op, occurrence)`` pairs: the handler
+    thread stalls on an event just after reading the N-th request of
+    that op (counting from 0 across all connections), before executing
+    or replying.  The accept loop stays alive throughout, so the daemon
+    looks perfectly healthy to a connect probe — exactly the failure
+    deadlines exist for: without them the client blocks on the reply
+    forever.  Each scheduled stall fires once; ``unstall()`` releases
+    every stalled handler (the late reply then goes out on the
+    still-open channel, which is what the client's harvest path
+    consumes).  A *new* connection gets a fresh handler thread, so a
+    client that reconnects past a stalled handler computes normally —
+    the "hung handler, live daemon" recovery.  ``kill``/``close``
+    release stalled handlers so tests can always tear down.
+    """
+
+    def __init__(
+        self, *args, stall_at: Sequence[Tuple[str, int]] = (), **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._stall_at = {tuple(entry) for entry in stall_at}
+        self._stall_gate = threading.Event()
+        self._stall_lock = threading.Lock()
+        self._op_seen: Dict[str, int] = {}
+        #: handler threads currently parked on the gate.
+        self.stalled = 0
+
+    def _make_channel(self, conn) -> Channel:
+        return _StallingChannel(conn, self)
+
+    def _maybe_stall(self, message) -> None:
+        op = message[0] if isinstance(message, tuple) and message else "?"
+        with self._stall_lock:
+            occurrence = self._op_seen.get(op, 0)
+            self._op_seen[op] = occurrence + 1
+            hit = (op, occurrence) in self._stall_at
+            if hit:
+                self._stall_at.discard((op, occurrence))
+                self.stalled += 1
+        if hit:
+            try:
+                self._stall_gate.wait()
+            finally:
+                with self._stall_lock:
+                    self.stalled -= 1
+
+    def unstall(self) -> None:
+        """Release every stalled handler (their late replies go out)."""
+        self._stall_gate.set()
+
+    def kill(self) -> None:
+        self._stall_gate.set()
+        super().kill()
 
 
 # ------------------------------------------------------------ chaos drivers
