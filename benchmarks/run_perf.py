@@ -151,6 +151,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         },
         "results": records,
     }
+    if previous is not None:
+        # Sections owned by other recorders (e.g. bench_serving's
+        # "serving") ride along untouched: this suite only ever rewrites
+        # the keys it measures.
+        for key, value in previous.items():
+            if key not in payload and key != "trajectory":
+                payload[key] = value
     status = 0
     out_payload: Optional[dict] = payload
     if args.check and previous is not None:

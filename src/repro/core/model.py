@@ -270,7 +270,7 @@ class CPAModel:
         """Per-item marginal label inclusion probabilities."""
         state, consensus, fitted_answers = self._require_fitted()
         target = answers if answers is not None else fitted_answers
-        return label_probabilities(state, consensus, target, items=items)
+        return label_probabilities(state, consensus, target, self.config, items=items)
 
     # --------------------------------------------------------------- inspection
 

@@ -268,9 +268,10 @@ def label_probabilities(
     state: CPAState,
     consensus: ClusterConsensus,
     answers: AnswerMatrix,
+    config: Optional[CPAConfig] = None,
     items: Optional[Sequence[int]] = None,
     *,
-    evidence_weight: float = 1.0,
+    evidence_weight: Optional[float] = None,
 ) -> np.ndarray:
     """Marginal per-label posterior inclusion probabilities.
 
@@ -279,7 +280,21 @@ def label_probabilities(
     available.  A soft alternative to the MAP set — useful for ranking and
     threshold sweeps.  Rows align with ``items`` (default: all items that
     received answers).
+
+    Evidence weighting follows the same rules as :func:`predict_items`:
+    with a ``config``, evidence applies iff ``config.use_item_evidence``
+    at strength ``config.evidence_weight`` — so ``predict_proba`` and
+    ``predict`` agree on whether evidence is used at all.  An explicit
+    ``evidence_weight`` overrides the config (``0`` disables evidence);
+    without either, evidence applies at weight 1.
     """
+    if evidence_weight is None:
+        if config is not None:
+            evidence_weight = (
+                config.evidence_weight if config.use_item_evidence else 0.0
+            )
+        else:
+            evidence_weight = 1.0
     if items is None:
         items = answers.answered_items()
     items = [int(i) for i in items]

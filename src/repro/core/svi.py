@@ -81,12 +81,21 @@ class _BatchData:
 
 
 def _prepare_batch(
-    batch: AnswerBatch, dtype: np.dtype = np.float64
+    batch: AnswerBatch,
+    dtype: np.dtype = np.float64,
+    n_labels: Optional[int] = None,
 ) -> Optional[_BatchData]:
     items, workers, indicators = batch.matrix.to_arrays()
     if items.size == 0:
         return None
     indicators = np.ascontiguousarray(indicators, dtype=dtype)
+    if n_labels is not None and indicators.shape[1] < n_labels:
+        # A batch minted before the engine grew its label space (see
+        # StochasticInference.grow) carries narrower indicator rows; the
+        # missing labels were simply never answered — pad with zeros.
+        padded = np.zeros((indicators.shape[0], n_labels), dtype=dtype)
+        padded[:, : indicators.shape[1]] = indicators
+        indicators = padded
     batch_workers, worker_local = np.unique(workers, return_inverse=True)
     batch_items, item_local = np.unique(items, return_inverse=True)
     order = np.argsort(worker_local, kind="stable")
@@ -268,6 +277,86 @@ class StochasticInference:
             self.truth_indicator = np.zeros((n_items, n_labels))
             self.truth_mask = np.zeros(n_items, dtype=bool)
 
+    # -------------------------------------------------------------- checkpoints
+
+    def checkpoint(self) -> dict:
+        """Serializable snapshot of the engine's posterior and bookkeeping.
+
+        The payload (see :mod:`repro.core.checkpoint`) carries the full
+        variational state plus ``batches_seen`` and the symmetry-breaking
+        ``seeded`` flag — everything :meth:`restore` needs to continue the
+        SVI trajectory bitwise on another engine (or after a restart).
+        """
+        from repro.core.checkpoint import checkpoint_payload
+
+        return checkpoint_payload(self.state, seeded=self._seeded)
+
+    def restore(self, payload: dict) -> None:
+        """Adopt a :meth:`checkpoint` payload as the engine's state.
+
+        The checkpoint's index spaces must not exceed the engine's; a
+        smaller checkpoint (taken before new items/workers/labels
+        appeared) is grown to the engine's spaces via
+        :func:`repro.core.checkpoint.grow_state`.  Per-batch caches are
+        dropped — they key on batch identity and would go stale.
+        """
+        from repro.core.checkpoint import grow_state, state_from_payload
+
+        state, seeded = state_from_payload(payload)
+        if (state.n_items, state.n_workers, state.n_labels) != (
+            self.n_items,
+            self.n_workers,
+            self.n_labels,
+        ):
+            state = grow_state(
+                state,
+                self.config,
+                self.n_items,
+                self.n_workers,
+                self.n_labels,
+                seed=self._seed,
+            )
+        if state.mu is None:
+            state.sync_mu_from_phi()
+        self.state = state
+        self._seeded = seeded
+        self._drop_batch_caches()
+
+    def grow(self, n_items: int, n_workers: int, n_labels: int) -> None:
+        """Widen the engine's index spaces mid-stream (never shrinks).
+
+        New items/workers/labels observed after construction are absorbed
+        by growing the state (:func:`repro.core.checkpoint.grow_state`)
+        and padding the supervision arrays; subsequent batches may then
+        reference the new ids.
+        """
+        from repro.core.checkpoint import grow_state
+
+        self.state = grow_state(
+            self.state, self.config, n_items, n_workers, n_labels, seed=self._seed
+        )
+        if self.state.mu is None:
+            self.state.sync_mu_from_phi()
+        if n_labels > self.n_labels or n_items > self.n_items:
+            indicator = np.zeros((n_items, n_labels))
+            indicator[: self.n_items, : self.n_labels] = self.truth_indicator
+            self.truth_indicator = indicator
+            mask = np.zeros(n_items, dtype=bool)
+            mask[: self.n_items] = self.truth_mask
+            self.truth_mask = mask
+        self.n_items = n_items
+        self.n_workers = n_workers
+        self.n_labels = n_labels
+        self._drop_batch_caches()
+
+    def _drop_batch_caches(self) -> None:
+        """Forget per-batch caches (batch identity no longer recurs)."""
+        self._pattern_like_cache = None
+        self._chunk_plan_cache = None
+        if self._batch_kernel_cache is not None:
+            self._batch_kernel_cache[1].evict()
+            self._batch_kernel_cache = None
+
     # ------------------------------------------------------------------ stream
 
     def fit_stream(self, batches: Iterable[AnswerBatch]) -> CPAState:
@@ -281,7 +370,7 @@ class StochasticInference:
 
         Empty batches advance the batch counter but change nothing.
         """
-        data = _prepare_batch(batch, self.config.resolve_dtype())
+        data = _prepare_batch(batch, self.config.resolve_dtype(), self.n_labels)
         self.state.batches_seen += 1
         rate = learning_rate(self.state.batches_seen, self.config.forgetting_rate)
         if data is None:

@@ -237,6 +237,30 @@ class AnswerMatrix:
             clone.add(item, worker, labels)
         return clone
 
+    def resized(self, n_items: int, n_workers: int, n_labels: int) -> "AnswerMatrix":
+        """A copy over grown index spaces (each size ≥ the current one).
+
+        The serving layer uses this when new items/workers/labels appear
+        mid-stream (see :meth:`repro.serve.ConsensusEngine.grow`): all
+        recorded answers keep their coordinates, the spaces just widen.
+        """
+        if (
+            n_items < self.n_items
+            or n_workers < self.n_workers
+            or n_labels < self.n_labels
+        ):
+            raise ValidationError(
+                f"resized() cannot shrink: have "
+                f"({self.n_items}, {self.n_workers}, {self.n_labels}), "
+                f"requested ({n_items}, {n_workers}, {n_labels})"
+            )
+        clone = AnswerMatrix(n_items, n_workers, n_labels)
+        for (item, worker), labels in self._entries.items():
+            clone._entries[(item, worker)] = labels
+            clone._by_item.setdefault(item, []).append(worker)
+            clone._by_worker.setdefault(worker, []).append(item)
+        return clone
+
     def merged_with(self, other: "AnswerMatrix") -> "AnswerMatrix":
         """Union of two matrices over the same index spaces.
 

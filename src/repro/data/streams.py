@@ -58,11 +58,28 @@ class AnswerBatch:
 
 
 class AnswerStream:
-    """Deterministic, seeded batch decomposition of an answer matrix."""
+    """Deterministic, seeded batch decomposition of an answer matrix.
+
+    Every policy call draws one child seed from the stream's generator
+    *at call time* and shuffles with a generator derived from that seed.
+    The seed path therefore depends only on the order in which policies
+    are *called* on the stream — never on when (or whether, or in which
+    interleaving) the returned iterators are consumed.  The old lazy
+    scheme shuffled with the shared instance generator on first
+    ``next()``, so the same seed yielded different batches when two
+    iterators were created before either was consumed, or consumed in a
+    different order than created — fatal for a serving restart that must
+    replay an arrival log bit-for-bit.
+    """
 
     def __init__(self, matrix: AnswerMatrix, seed: Seed = None) -> None:
         self._matrix = matrix
         self._rng = RandomState(seed)
+
+    def _child_rng(self) -> np.random.Generator:
+        """A fresh generator seeded now, from this call's position in the
+        stream's call sequence (see class docstring)."""
+        return RandomState(int(self._rng.integers(2**63)))
 
     # ------------------------------------------------------------------ policies
 
@@ -71,7 +88,12 @@ class AnswerStream:
         if workers_per_batch <= 0:
             raise ValidationError("workers_per_batch must be positive")
         order = np.array(self._matrix.active_workers(), dtype=int)
-        self._rng.shuffle(order)
+        self._child_rng().shuffle(order)
+        return self._iter_worker_batches(order, workers_per_batch)
+
+    def _iter_worker_batches(
+        self, order: np.ndarray, workers_per_batch: int
+    ) -> Iterator[AnswerBatch]:
         for index, start in enumerate(range(0, order.size, workers_per_batch)):
             chunk = order[start : start + workers_per_batch]
             pairs = [
@@ -87,7 +109,15 @@ class AnswerStream:
             raise ValidationError("answers_per_batch must be positive")
         pairs = [(a.item, a.worker) for a in self._matrix.iter_answers()]
         order = np.arange(len(pairs))
-        self._rng.shuffle(order)
+        self._child_rng().shuffle(order)
+        return self._iter_answer_batches(pairs, order, answers_per_batch)
+
+    def _iter_answer_batches(
+        self,
+        pairs: List[Tuple[int, int]],
+        order: np.ndarray,
+        answers_per_batch: int,
+    ) -> Iterator[AnswerBatch]:
         for index, start in enumerate(range(0, len(pairs), answers_per_batch)):
             chunk = [pairs[i] for i in order[start : start + answers_per_batch]]
             yield self._build_batch(index, chunk)
@@ -110,7 +140,15 @@ class AnswerStream:
             raise ValidationError("fractions must be strictly increasing")
         pairs = [(a.item, a.worker) for a in self._matrix.iter_answers()]
         order = np.arange(len(pairs))
-        self._rng.shuffle(order)
+        self._child_rng().shuffle(order)
+        return self._iter_fraction_batches(pairs, order, fracs)
+
+    def _iter_fraction_batches(
+        self,
+        pairs: List[Tuple[int, int]],
+        order: np.ndarray,
+        fracs: List[float],
+    ) -> Iterator[AnswerBatch]:
         cuts = [0] + [int(round(f * len(pairs))) for f in fracs]
         index = 0
         for lo, hi in zip(cuts, cuts[1:]):

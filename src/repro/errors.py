@@ -53,6 +53,15 @@ class WorkerFailure(ReproError):
         self.remote_traceback = remote_traceback
 
 
+class CheckpointError(ReproError):
+    """A serialized CPAState checkpoint is unreadable or incompatible.
+
+    Raised by :mod:`repro.core.checkpoint` on magic/version mismatches,
+    corrupted payloads, and growth requests that would *shrink* an index
+    space (checkpoints only ever grow into a larger engine).
+    """
+
+
 class InferenceError(ReproError):
     """Model inference failed irrecoverably (e.g. non-finite parameters)."""
 

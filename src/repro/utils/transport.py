@@ -655,6 +655,17 @@ class WorkerServer:
         inject stalls) without touching the serve loop."""
         return Channel(conn)
 
+    def handle(self, message: Any) -> Tuple:
+        """Dispatch one request; the seam subclasses extend with new ops.
+
+        The base daemon delegates everything to :func:`handle_request`;
+        :class:`repro.serve.ConsensusServer` overrides this to serve its
+        query/ingest ops first and fall back here for the shared protocol
+        (ping, chunk store, shutdown), so the serving daemon inherits the
+        broadcast/chunk machinery unchanged.
+        """
+        return handle_request(message, self.registry)
+
     def _serve_connection(self, conn: socket.socket) -> None:
         channel = self._make_channel(conn)
         try:
@@ -667,7 +678,7 @@ class WorkerServer:
                     break
                 op = message[0] if isinstance(message, tuple) and message else "?"
                 self.op_counts[op] = self.op_counts.get(op, 0) + 1
-                reply = handle_request(message, self.registry)
+                reply = self.handle(message)
                 if op == "shutdown":
                     # stop accepting *before* acknowledging, so a client
                     # that saw the reply can rely on the port being gone;

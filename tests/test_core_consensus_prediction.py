@@ -12,6 +12,7 @@ from repro.core.consensus import (
     community_label_rates,
     estimate_consensus,
 )
+from repro.core.model import CPAModel
 from repro.core.diagnostics import (
     community_summaries,
     count_label_communities,
@@ -180,7 +181,7 @@ class TestPredictPipeline:
     def test_probabilities_rank_true_labels_higher(self, tiny_model, tiny_dataset):
         items = tiny_dataset.answers.answered_items()
         probs = label_probabilities(
-            tiny_model.state_, tiny_model.consensus_, tiny_dataset.answers, items
+            tiny_model.state_, tiny_model.consensus_, tiny_dataset.answers, items=items
         )
         true_mean, false_mean = [], []
         for row, item in enumerate(items):
@@ -188,6 +189,59 @@ class TestPredictPipeline:
             for label in range(tiny_dataset.n_labels):
                 (true_mean if label in truth else false_mean).append(probs[row, label])
         assert np.mean(true_mean) > np.mean(false_mean) + 0.3
+
+    def test_label_probabilities_honor_use_item_evidence(
+        self, tiny_model, tiny_dataset
+    ):
+        """Regression: ``label_probabilities`` used to apply evidence at a
+        hard-coded weight 1.0, ignoring ``config.use_item_evidence`` —
+        ``predict_proba`` could use evidence while ``predict`` did not."""
+        from dataclasses import replace
+
+        state, consensus = tiny_model.state_, tiny_model.consensus_
+        answers = tiny_dataset.answers
+        no_evidence_cfg = tiny_model.config.with_overrides(use_item_evidence=False)
+        off = label_probabilities(state, consensus, answers, no_evidence_cfg)
+        # config off must equal stripping the rates entirely
+        bare = replace(consensus, label_rates=None)
+        np.testing.assert_array_equal(
+            off, label_probabilities(state, bare, answers, no_evidence_cfg)
+        )
+        # and must differ from the evidence-on path
+        on = label_probabilities(state, consensus, answers, tiny_model.config)
+        assert not np.allclose(off, on)
+
+    def test_label_probabilities_honor_evidence_weight(self, tiny_model, tiny_dataset):
+        state, consensus = tiny_model.state_, tiny_model.consensus_
+        answers = tiny_dataset.answers
+        half_cfg = tiny_model.config.with_overrides(evidence_weight=0.5)
+        half = label_probabilities(state, consensus, answers, half_cfg)
+        np.testing.assert_array_equal(
+            half,
+            label_probabilities(state, consensus, answers, evidence_weight=0.5),
+        )
+        # explicit weight overrides the config
+        full = label_probabilities(
+            state, consensus, answers, half_cfg, evidence_weight=1.0
+        )
+        np.testing.assert_array_equal(
+            full, label_probabilities(state, consensus, answers)
+        )
+
+    def test_predict_proba_agrees_with_predict_on_evidence_use(self, tiny_dataset):
+        """``CPAModel.predict_proba`` must follow the same evidence switch
+        as ``predict``: with ``use_item_evidence=False`` its output matches
+        the evidence-free probabilities, not the weight-1.0 default."""
+        from dataclasses import replace
+
+        config = CPAConfig(seed=1, max_iterations=40, use_item_evidence=False)
+        model = CPAModel(config).fit(tiny_dataset)
+        probs = model.predict_proba()
+        bare = replace(model.consensus_, label_rates=None)
+        np.testing.assert_array_equal(
+            probs,
+            label_probabilities(model.state_, bare, tiny_dataset.answers, config),
+        )
 
 
 class TestDiagnostics:

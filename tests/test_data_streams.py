@@ -115,6 +115,67 @@ class TestPartitionExactness:
         assert [batch.pairs for batch in a] == [batch.pairs for batch in b]
 
 
+class TestReplayDeterminism:
+    """Regression: policy iterators used to shuffle lazily with the shared
+    instance generator, so batch content depended on *consumption* order.
+    A serving restart replaying an arrival log needs batches to be a pure
+    function of (seed, policy-call sequence)."""
+
+    def test_creation_order_not_consumption_order(self, tiny_dataset):
+        matrix = tiny_dataset.answers
+        # reference: call + consume immediately
+        ref_first = list(AnswerStream(matrix, seed=21).by_answers(40))
+        ref_second_stream = AnswerStream(matrix, seed=21)
+        list(ref_second_stream.by_answers(40))
+        ref_second = list(ref_second_stream.by_answers(40))
+        # create both iterators before consuming either, then consume in
+        # reverse creation order — content must still track creation order
+        stream = AnswerStream(matrix, seed=21)
+        it_first = stream.by_answers(40)
+        it_second = stream.by_answers(40)
+        got_second = list(it_second)
+        got_first = list(it_first)
+        assert [b.pairs for b in got_first] == [b.pairs for b in ref_first]
+        assert [b.pairs for b in got_second] == [b.pairs for b in ref_second]
+
+    def test_unconsumed_iterator_still_advances_seed_path(self, tiny_dataset):
+        """An abandoned iterator must consume exactly one child seed —
+        whether or not it is ever drained."""
+        matrix = tiny_dataset.answers
+        stream_a = AnswerStream(matrix, seed=9)
+        stream_a.by_answers(40)  # created, never consumed
+        a = list(stream_a.by_answers(40))
+        stream_b = AnswerStream(matrix, seed=9)
+        list(stream_b.by_answers(40))  # created and fully drained
+        b = list(stream_b.by_answers(40))
+        assert [x.pairs for x in a] == [x.pairs for x in b]
+
+    def test_mixed_policies_depend_only_on_call_order(self, tiny_dataset):
+        matrix = tiny_dataset.answers
+        stream = AnswerStream(matrix, seed=5)
+        it_workers = stream.by_workers(7)
+        it_fracs = stream.by_fractions([0.5, 1.0])
+        fracs = list(it_fracs)
+        workers = list(it_workers)
+        # same call order, immediate consumption
+        ref = AnswerStream(matrix, seed=5)
+        ref_workers = list(ref.by_workers(7))
+        ref_fracs = list(ref.by_fractions([0.5, 1.0]))
+        assert [b.pairs for b in workers] == [b.pairs for b in ref_workers]
+        assert [b.pairs for b in fracs] == [b.pairs for b in ref_fracs]
+
+    def test_validation_is_eager_at_call_time(self, tiny_dataset):
+        """Bad arguments must raise at the policy call, before any
+        iteration — a replaying server should fail fast, not mid-drain."""
+        stream = AnswerStream(tiny_dataset.answers, seed=0)
+        with pytest.raises(ValidationError):
+            stream.by_workers(0)
+        with pytest.raises(ValidationError):
+            stream.by_answers(-1)
+        with pytest.raises(ValidationError):
+            stream.by_fractions([0.5, 0.4])
+
+
 class TestSplitBatch:
     def test_respects_max_answers_and_partitions_in_order(self, tiny_dataset):
         batch = next(AnswerStream(tiny_dataset.answers, seed=1).by_fractions([1.0]))
