@@ -1,0 +1,54 @@
+"""Repo-invariant static analysis for the :mod:`repro` package.
+
+Six AST-level rules encode the invariants the test suite cannot
+exhaustively check (DESIGN.md §7): replay determinism (R1), lock
+discipline in the threaded daemon code (R2), client/server wire-protocol
+agreement (R3), the ``repro.errors`` taxonomy (R4), explicit dtypes in
+the numeric core (R5), and checkpoint-schema sync (R6).  Run with
+``python -m repro.analysis``; suppressions live in the checked-in
+``BASELINE.json`` next to this package.
+"""
+
+from repro.analysis.base import (
+    Finding,
+    Module,
+    Rule,
+    collect_modules,
+    load_module,
+    run_rules,
+)
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    Baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.checkpoint_sync import CheckpointSyncRule
+from repro.analysis.cli import ALL_RULES, main, select_rules
+from repro.analysis.determinism import DeterminismRule
+from repro.analysis.dtypes import DtypeHygieneRule
+from repro.analysis.locks import LockDisciplineRule
+from repro.analysis.taxonomy import ErrorTaxonomyRule
+from repro.analysis.wire import WireProtocolRule
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "CheckpointSyncRule",
+    "DEFAULT_BASELINE",
+    "DeterminismRule",
+    "DtypeHygieneRule",
+    "ErrorTaxonomyRule",
+    "Finding",
+    "LockDisciplineRule",
+    "Module",
+    "Rule",
+    "WireProtocolRule",
+    "collect_modules",
+    "load_baseline",
+    "load_module",
+    "main",
+    "run_rules",
+    "save_baseline",
+    "select_rules",
+]

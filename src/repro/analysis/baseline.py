@@ -1,0 +1,134 @@
+"""Checked-in suppression baseline for the static-analysis pass.
+
+A finding the team has looked at and accepted is recorded here instead
+of being silenced in code, mirroring how the perf gate pins its
+reference numbers.  The file is JSON so diffs review cleanly::
+
+    {
+      "version": 1,
+      "entries": [
+        {"key": "R1:core/x.py:f:np.random.default_rng",
+         "justification": "one line on why this is acceptable"}
+      ]
+    }
+
+Two properties keep the baseline honest:
+
+* every entry **must** carry a non-empty justification — an entry is an
+  argument, not a mute button;
+* entries are matched by the finding's stable key; an entry whose key no
+  longer matches anything is *stale* and fails ``--check``, so fixed
+  violations cannot leave suppressions behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.base import Finding
+from repro.errors import AnalysisError
+
+BASELINE_VERSION = 1
+
+#: the checked-in baseline next to the package, so ``--check`` resolves
+#: it from any working directory.
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "BASELINE.json")
+
+
+@dataclass
+class Baseline:
+    """Suppression entries: finding key → one-line justification."""
+
+    entries: Dict[str, str] = field(default_factory=dict)
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """``(new, suppressed, stale_keys)`` for a finding set."""
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            if finding.key in self.entries:
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        live_keys = {finding.key for finding in findings}
+        stale = sorted(key for key in self.entries if key not in live_keys)
+        return new, suppressed, stale
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline.
+
+    Malformed structure, duplicate keys, and empty justifications are
+    :class:`AnalysisError` — a broken suppression file must never be
+    silently treated as 'suppress nothing' (or 'suppress everything').
+    """
+    if not os.path.exists(path):
+        return Baseline()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path}: expected a dict with version "
+            f"{BASELINE_VERSION}, got {type(raw).__name__}"
+        )
+    entries_raw = raw.get("entries")
+    if not isinstance(entries_raw, list):
+        raise AnalysisError(f"baseline {path}: 'entries' must be a list")
+    entries: Dict[str, str] = {}
+    for position, entry in enumerate(entries_raw):
+        if not isinstance(entry, dict):
+            raise AnalysisError(
+                f"baseline {path}: entry {position} is not an object"
+            )
+        key = entry.get("key")
+        justification = entry.get("justification")
+        if not isinstance(key, str) or not key:
+            raise AnalysisError(
+                f"baseline {path}: entry {position} lacks a 'key'"
+            )
+        if not isinstance(justification, str) or not justification.strip():
+            raise AnalysisError(
+                f"baseline {path}: entry for {key!r} lacks a justification "
+                "— a baseline entry is an argument, not a mute button"
+            )
+        if key in entries:
+            raise AnalysisError(f"baseline {path}: duplicate key {key!r}")
+        entries[key] = justification.strip()
+    return Baseline(entries=entries)
+
+
+def save_baseline(
+    path: str, findings: Sequence[Finding], previous: Baseline
+) -> Baseline:
+    """Write a baseline covering exactly ``findings``.
+
+    Justifications already present in ``previous`` are kept; new keys get
+    an explicit TODO placeholder that :func:`load_baseline` will keep
+    accepting but reviewers are expected to replace.
+    """
+    entries: Dict[str, str] = {}
+    for finding in findings:
+        kept = previous.entries.get(finding.key)
+        entries[finding.key] = kept or f"TODO: justify ({finding.message})"
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"key": key, "justification": entries[key]}
+            for key in sorted(entries)
+        ],
+    }
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    except OSError as exc:
+        raise AnalysisError(f"cannot write baseline {path}: {exc}") from exc
+    return Baseline(entries=entries)

@@ -1,0 +1,190 @@
+"""R6 — checkpoint-schema sync: ``CPAState`` and the payload agree.
+
+The checkpoint format (``core/checkpoint.py``) mirrors ``CPAState``
+three ways: scalar fields become payload keys in ``checkpoint_payload``,
+array fields are enumerated in ``_ARRAY_FIELDS``, and the shape header
+is the ``CheckpointMeta`` dataclass.  A field added to ``CPAState``
+without threading it through all three is the classic silent-drift bug:
+checkpoints round-trip, tests pass, and the new field is quietly reset
+to its default on every restore.
+
+The rule recovers all four schemas statically — ``CPAState`` annotated
+fields, ``_ARRAY_FIELDS`` string entries, the string keys of the dict
+literal in ``checkpoint_payload``, and ``CheckpointMeta`` annotated
+fields — and checks:
+
+* every ``CPAState`` field is serialized (a payload key, or listed in
+  ``_ARRAY_FIELDS``);
+* every ``_ARRAY_FIELDS`` entry is a real ``CPAState`` field;
+* every ``CheckpointMeta`` field is read from a payload key of the same
+  name;
+* every payload key (bar the ``magic`` marker) corresponds to a
+  ``CPAState`` or ``CheckpointMeta`` field — no write-only keys.
+
+When the scanned tree lacks either side (fixture runs over a partial
+tree), the rule stays silent rather than inventing drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import Finding, Module, Rule
+
+STATE_CLASS = "CPAState"
+META_CLASS = "CheckpointMeta"
+ARRAY_FIELDS_NAME = "_ARRAY_FIELDS"
+PAYLOAD_FUNCTION = "checkpoint_payload"
+
+#: payload keys that are format framing, not state.
+FRAMING_KEYS = {"magic"}
+
+
+class CheckpointSyncRule(Rule):
+    rule_id = "R6"
+    name = "checkpoint-sync"
+    description = (
+        "CPAState fields, _ARRAY_FIELDS, checkpoint_payload keys and "
+        "CheckpointMeta stay in agreement (no silent schema drift)"
+    )
+
+    def check(self, modules: Sequence[Module]) -> List[Finding]:
+        state = _dataclass_fields(modules, STATE_CLASS)
+        meta = _dataclass_fields(modules, META_CLASS)
+        arrays = _array_fields(modules)
+        payload = _payload_keys(modules)
+        if state is None or payload is None:
+            return []  # partial tree: nothing to compare against
+        state_fields, state_site = state
+        payload_keys, payload_site = payload
+        array_fields = arrays[0] if arrays else set()
+        findings: List[Finding] = []
+
+        serialized = payload_keys | array_fields
+        for field in sorted(state_fields - serialized):
+            findings.append(
+                _finding(
+                    self.rule_id,
+                    state_site,
+                    f"CPAState.{field} is never serialized — add it to "
+                    f"{PAYLOAD_FUNCTION}() or {ARRAY_FIELDS_NAME} or a "
+                    "restore will silently reset it",
+                    f"R6:state-unserialized:{field}",
+                )
+            )
+        if arrays:
+            for field in sorted(arrays[0] - state_fields):
+                findings.append(
+                    _finding(
+                        self.rule_id,
+                        arrays[1],
+                        f"{ARRAY_FIELDS_NAME} names {field!r} which is not "
+                        "a CPAState field",
+                        f"R6:array-unknown:{field}",
+                    )
+                )
+        if meta is not None:
+            for field in sorted(meta[0] - payload_keys):
+                findings.append(
+                    _finding(
+                        self.rule_id,
+                        meta[1],
+                        f"CheckpointMeta.{field} has no matching "
+                        f"{PAYLOAD_FUNCTION}() key — the header cannot be "
+                        "populated from a payload",
+                        f"R6:meta-unwritten:{field}",
+                    )
+                )
+        known = state_fields | (meta[0] if meta else set()) | FRAMING_KEYS
+        for key in sorted(payload_keys - known):
+            findings.append(
+                _finding(
+                    self.rule_id,
+                    payload_site,
+                    f"{PAYLOAD_FUNCTION}() writes key {key!r} that neither "
+                    "CPAState nor CheckpointMeta reads back — write-only "
+                    "schema drift",
+                    f"R6:payload-orphan:{key}",
+                )
+            )
+        return findings
+
+
+def _finding(rule: str, site: Tuple[str, int], message: str, key: str) -> Finding:
+    return Finding(rule=rule, path=site[0], line=site[1], message=message, key=key)
+
+
+def _dataclass_fields(
+    modules: Sequence[Module], class_name: str
+) -> Optional[Tuple[Set[str], Tuple[str, int]]]:
+    """Annotated field names of the first class named ``class_name``."""
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                fields = {
+                    stmt.target.id
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                }
+                return fields, (module.rel, node.lineno)
+    return None
+
+
+def _array_fields(
+    modules: Sequence[Module],
+) -> Optional[Tuple[Set[str], Tuple[str, int]]]:
+    """String entries of the ``_ARRAY_FIELDS`` tuple/list assignment."""
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == ARRAY_FIELDS_NAME
+                for target in node.targets
+            ):
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                names = {
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                }
+                return names, (module.rel, node.lineno)
+    return None
+
+
+def _payload_keys(
+    modules: Sequence[Module],
+) -> Optional[Tuple[Set[str], Tuple[str, int]]]:
+    """String keys written by ``checkpoint_payload``: the dict literal's
+    keys plus ``payload[name]``-style writes where the subscript is a
+    string constant (the ``_ARRAY_FIELDS`` loop uses a variable and is
+    accounted separately)."""
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == PAYLOAD_FUNCTION
+            ):
+                continue
+            keys: Set[str] = set()
+            for child in ast.walk(node):
+                if isinstance(child, ast.Dict):
+                    for key in child.keys:
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            keys.add(key.value)
+                elif isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.slice, ast.Constant)
+                            and isinstance(target.slice.value, str)
+                        ):
+                            keys.add(target.slice.value)
+            return keys, (module.rel, node.lineno)
+    return None

@@ -1,0 +1,170 @@
+"""``python -m repro.analysis`` — run the rule set over a source tree.
+
+Exit codes follow the perf gate's convention:
+
+* ``0`` — clean (no findings beyond the baseline; in ``--check`` mode
+  the baseline must also have no stale entries);
+* ``1`` — new findings (or stale baseline entries under ``--check``);
+* ``2`` — the analyzer itself could not run (unreadable source,
+  malformed baseline, unknown rule id).
+
+``main`` returns the code rather than raising ``SystemExit`` so the
+test suite and future tooling can call it in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from repro.analysis.base import Rule, collect_modules, run_rules
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.checkpoint_sync import CheckpointSyncRule
+from repro.analysis.determinism import DeterminismRule
+from repro.analysis.dtypes import DtypeHygieneRule
+from repro.analysis.locks import LockDisciplineRule
+from repro.analysis.taxonomy import ErrorTaxonomyRule
+from repro.analysis.wire import WireProtocolRule
+from repro.errors import AnalysisError
+
+#: the full rule registry, in rule-id order.
+ALL_RULES: List[Rule] = [
+    DeterminismRule(),
+    LockDisciplineRule(),
+    WireProtocolRule(),
+    ErrorTaxonomyRule(),
+    DtypeHygieneRule(),
+    CheckpointSyncRule(),
+]
+
+#: default scan target: the installed ``repro`` package itself.
+DEFAULT_TARGET = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def select_rules(spec: Optional[str]) -> List[Rule]:
+    """Resolve a ``--rules R1,R4`` spec against the registry."""
+    if spec is None:
+        return list(ALL_RULES)
+    by_id = {rule.rule_id: rule for rule in ALL_RULES}
+    selected: List[Rule] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token not in by_id:
+            raise AnalysisError(
+                f"unknown rule id {token!r}; known: {', '.join(sorted(by_id))}"
+            )
+        selected.append(by_id[token])
+    if not selected:
+        raise AnalysisError(f"--rules selected nothing from {spec!r}")
+    return selected
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repo-invariant static analysis for the repro package",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files or directories to scan (default: {DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="suppression file (default: the checked-in BASELINE.json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="R1,R2",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI mode: also fail on stale baseline entries",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover exactly the current findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, stream: Optional[TextIO] = None
+) -> int:
+    out = stream if stream is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            out.write(f"{rule.rule_id}  {rule.name}: {rule.description}\n")
+        return 0
+    try:
+        rules = select_rules(args.rules)
+        modules = collect_modules(args.paths or [DEFAULT_TARGET])
+        findings = run_rules(modules, rules)
+        baseline = load_baseline(args.baseline)
+        if args.write_baseline:
+            baseline = save_baseline(args.baseline, findings, baseline)
+        new, suppressed, stale = baseline.split(findings)
+    except AnalysisError as exc:
+        out.write(f"analysis error: {exc}\n")
+        return 2
+    # stale entries from unselected rules are expected, not drift
+    if args.rules is not None:
+        selected_ids = {rule.rule_id for rule in rules}
+        stale = [key for key in stale if key.split(":", 1)[0] in selected_ids]
+    failed = bool(new) or (args.check and bool(stale))
+    if args.format == "json":
+        out.write(
+            json.dumps(
+                {
+                    "findings": [finding.as_dict() for finding in new],
+                    "suppressed": len(suppressed),
+                    "stale": stale,
+                    "modules": len(modules),
+                    "ok": not failed,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    else:
+        for finding in new:
+            out.write(finding.render() + "\n")
+        for key in stale:
+            out.write(
+                f"stale baseline entry: {key} (no longer matches anything "
+                "— remove it)\n"
+            )
+        out.write(
+            f"{len(modules)} modules, {len(rules)} rules: "
+            f"{len(new)} new finding(s), {len(suppressed)} baselined"
+            + (f", {len(stale)} stale baseline entr(y/ies)" if stale else "")
+            + "\n"
+        )
+    return 1 if failed else 0

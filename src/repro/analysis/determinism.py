@@ -1,0 +1,119 @@
+"""R1 — determinism: no ambient entropy inside the replayed modules.
+
+Every stochastic component of the inference/data/simulation stack must
+draw its randomness through the :mod:`repro.utils.random` seam
+(``RandomState`` / ``spawn_rngs``), which canonicalises seeds and derives
+independent child generators.  An inline ``np.random.default_rng()``,
+stdlib ``random.*`` call, or wall-clock read inside ``core/``, ``data/``
+or ``simulation/`` silently breaks bitwise replay — exactly the class of
+bug behind the PR 7 ``AnswerStream`` fix, where batches depended on
+*when* an iterator was consumed rather than on the seed alone.
+
+The rule flags **calls**, not references: annotating a parameter as
+``np.random.Generator`` is how the seam's contract is spelled and stays
+legal; *constructing* entropy in scope is what gets flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence, Set
+
+from repro.analysis.base import (
+    Finding,
+    Module,
+    Rule,
+    dotted_name,
+    enclosing_symbols,
+)
+
+#: directories (package-relative) whose modules must stay replayable.
+SCOPED_DIRS = ("core/", "data/", "simulation/")
+
+#: dotted call prefixes that mint ambient entropy or wall-clock state.
+BANNED_PREFIXES = (
+    "np.random.",
+    "numpy.random.",
+    "secrets.",
+)
+
+#: exact dotted calls banned outright.
+BANNED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+
+class DeterminismRule(Rule):
+    rule_id = "R1"
+    name = "determinism"
+    description = (
+        "core/, data/ and simulation/ must draw randomness via the "
+        "repro.utils.random seam — no np.random/random/time.time entropy"
+    )
+
+    def check(self, modules: Sequence[Module]) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in modules:
+            if not module.rel.startswith(SCOPED_DIRS):
+                continue
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        symbols = enclosing_symbols(module.tree)
+        stdlib_random_aliases = _stdlib_random_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            head = dotted.split(".", 1)[0]
+            banned = (
+                dotted in BANNED_CALLS
+                or dotted.startswith(BANNED_PREFIXES)
+                or head in stdlib_random_aliases
+            )
+            if not banned:
+                continue
+            symbol = symbols.get(id(node), "<module>")
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.rel,
+                    line=node.lineno,
+                    message=(
+                        f"call to {dotted}() mints ambient entropy inside "
+                        f"{module.rel}; thread a generator through the "
+                        "repro.utils.random seam instead (bitwise replay)"
+                    ),
+                    key=f"R1:{module.rel}:{symbol}:{dotted}",
+                )
+            )
+        return findings
+
+
+def _stdlib_random_aliases(tree: ast.Module) -> Set[str]:
+    """Names the *stdlib* ``random`` module is bound to in this file.
+
+    ``import random`` / ``import random as rnd`` both count;
+    ``from repro.utils.random import RandomState`` does not — the seam
+    is the sanctioned entry point.
+    """
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or "random")
+        elif isinstance(node, ast.ImportFrom):
+            # `from random import shuffle` binds bare names to entropy
+            if node.module == "random" and node.level == 0:
+                for alias in node.names:
+                    aliases.add(alias.asname or alias.name)
+    return aliases

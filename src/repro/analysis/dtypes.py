@@ -1,0 +1,110 @@
+"""R5 — dtype hygiene: the hot numeric modules name their dtypes.
+
+The ROADMAP's float32-at-volume item will flip the working precision of
+the variational state behind a config knob.  That flip is only safe if
+today's float64 choices are *explicit*: an ``np.zeros(shape)`` relying
+on NumPy's float64 default silently upcasts the moment a float32 array
+flows into the same expression — and the related exp-family VB stacks
+this repo draws on hit exactly that class of bug.  The rule makes the
+implicit default illegal in the three modules that allocate the
+numeric state: ``core/kernels.py``, ``core/sharding.py``,
+``core/svi.py``.
+
+Flagged: ``np.zeros/ones/empty/full/array/linspace/eye/identity`` calls
+without an explicit ``dtype=`` keyword.  Deliberately *not* flagged:
+
+* ``asarray``/``asanyarray`` — a dtype-preserving view of the caller's
+  array is the point;
+* ``*_like`` constructors — they inherit the exemplar's dtype by
+  definition;
+* ``arange`` on integer arguments — index math with a well-defined
+  integer result.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.base import (
+    Finding,
+    Module,
+    Rule,
+    dotted_name,
+    enclosing_symbols,
+)
+
+#: package-relative files that allocate the numeric state.
+SCOPED_FILES = ("core/kernels.py", "core/sharding.py", "core/svi.py")
+
+#: numpy constructors that take NumPy's float64 default when dtype is
+#: omitted (``array`` infers from data, equally implicit).
+CONSTRUCTORS = {
+    "zeros",
+    "ones",
+    "empty",
+    "full",
+    "array",
+    "linspace",
+    "eye",
+    "identity",
+}
+
+#: module aliases the constructors are reached through.
+NUMPY_ALIASES = {"np", "numpy"}
+
+
+class DtypeHygieneRule(Rule):
+    rule_id = "R5"
+    name = "dtype-hygiene"
+    description = (
+        "array constructors in core/kernels.py, core/sharding.py and "
+        "core/svi.py must pass an explicit dtype= (float32-at-volume prep)"
+    )
+
+    def check(self, modules: Sequence[Module]) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in modules:
+            if module.rel not in SCOPED_FILES:
+                continue
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        symbols = enclosing_symbols(module.tree)
+        per_symbol: Dict[Tuple[str, str], int] = {}
+        calls = sorted(
+            (
+                node
+                for node in ast.walk(module.tree)
+                if isinstance(node, ast.Call)
+            ),
+            key=lambda call: (call.lineno, call.col_offset),
+        )
+        for node in calls:
+            dotted = dotted_name(node.func)
+            if dotted is None or "." not in dotted:
+                continue
+            prefix, _, constructor = dotted.rpartition(".")
+            if prefix not in NUMPY_ALIASES or constructor not in CONSTRUCTORS:
+                continue
+            if any(keyword.arg == "dtype" for keyword in node.keywords):
+                continue
+            symbol = symbols.get(id(node), "<module>")
+            index = per_symbol.get((symbol, constructor), 0)
+            per_symbol[(symbol, constructor)] = index + 1
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.rel,
+                    line=node.lineno,
+                    message=(
+                        f"{dotted}() without explicit dtype= takes the "
+                        "float64 default implicitly; name the dtype so the "
+                        "float32-at-volume switch cannot silently upcast"
+                    ),
+                    key=f"R5:{module.rel}:{symbol}:{constructor}:{index}",
+                )
+            )
+        return findings

@@ -1,0 +1,250 @@
+"""R2 — lock discipline: a static race detector for the threaded classes.
+
+The daemon/lane layer (``utils/transport.py``, ``repro/serve.py``) runs
+instance methods on many threads at once: ``WorkerServer`` serves each
+accepted connection on its own thread against shared per-instance state,
+and ``ConsensusEngine`` is queried concurrently by every connection of
+its server.  Those classes own a ``threading.Lock``/``RLock`` precisely
+so that shared attributes are only mutated under it — but nothing
+enforced the convention, and an unlocked counter increment from a
+handler thread is a silent lost-update bug (the ``WorkerServer.op_counts``
+race this rule was built on).
+
+For every class that *owns* a lock (assigns ``self.X = threading.Lock()``
+in its body) the rule flags attribute mutations outside a
+``with self.<lock>`` block when either:
+
+* the enclosing method is a **thread entry point** — passed as a
+  ``Thread(target=self.method)`` somewhere in the class, or the
+  ``handle()`` wire-dispatch seam, both of which run concurrently per
+  connection; or
+* the same attribute is mutated **under the lock elsewhere** in the
+  class — the code itself declares it lock-protected, so an unlocked
+  site is a discipline break.
+
+``__init__`` is exempt (no concurrent access before construction
+completes), as are mutations *of* synchronisation primitives themselves
+(``Event``/``Lock`` attributes are internally thread-safe).  Nested
+function bodies are skipped — a closure runs in whatever context calls
+it, so attributing it to the method's lock state would be a guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import Finding, Module, Rule, self_attribute
+
+#: factory calls that make an attribute a lock this rule keys on.
+LOCK_FACTORIES = {"Lock", "RLock"}
+
+#: factories whose attributes are thread-safe on their own — mutations of
+#: these (e.g. ``self._shutdown.clear()`` on an Event) are not races.
+SYNC_FACTORIES = LOCK_FACTORIES | {
+    "Event",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+}
+
+#: method names that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "append",
+    "appendleft",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popleft",
+    "popitem",
+    "clear",
+    "update",
+    "add",
+    "discard",
+    "setdefault",
+}
+
+#: methods treated as thread entry points besides Thread(target=...) ones:
+#: the wire-dispatch seam runs once per in-flight request.
+DISPATCH_ENTRY_METHODS = ("handle",)
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "R2"
+    name = "lock-discipline"
+    description = (
+        "classes owning a threading.Lock must mutate shared attributes "
+        "under it in thread-entry methods (static race detector)"
+    )
+
+    def check(self, modules: Sequence[Module]) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(
+        self, module: Module, cls: ast.ClassDef
+    ) -> List[Finding]:
+        lock_attrs, sync_attrs = _sync_attributes(cls)
+        if not lock_attrs:
+            return []
+        thread_entries = _thread_entry_methods(cls)
+        methods = [
+            node
+            for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # (method name, attr, line, locked?) for every mutation site
+        sites: List[Tuple[str, str, int, bool]] = []
+        for method in methods:
+            for attr, line, locked in _mutation_sites(method, lock_attrs):
+                if attr in sync_attrs:
+                    continue
+                sites.append((method.name, attr, line, locked))
+        guarded = {attr for name, attr, _, locked in sites if locked}
+        findings: List[Finding] = []
+        for name, attr, line, locked in sites:
+            if locked or name == "__init__":
+                continue
+            entry = name in thread_entries
+            if not entry and attr not in guarded:
+                continue
+            why = (
+                f"'{name}' is a thread entry point"
+                if entry
+                else f"'{attr}' is lock-protected elsewhere in {cls.name}"
+            )
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.rel,
+                    line=line,
+                    message=(
+                        f"{cls.name}.{name} mutates self.{attr} outside "
+                        f"'with self.{sorted(lock_attrs)[0]}' ({why}); "
+                        "concurrent handlers race on it"
+                    ),
+                    key=f"R2:{module.rel}:{cls.name}.{name}:{attr}",
+                )
+            )
+        return findings
+
+
+def _sync_attributes(cls: ast.ClassDef) -> Tuple[Set[str], Set[str]]:
+    """``(lock attrs, all sync-primitive attrs)`` assigned on ``self``."""
+    locks: Set[str] = set()
+    sync: Set[str] = set()
+    for node in ast.walk(cls):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        factory = node.value.func
+        name: Optional[str] = None
+        if isinstance(factory, ast.Attribute):
+            name = factory.attr  # threading.Lock()
+        elif isinstance(factory, ast.Name):
+            name = factory.id  # Lock() imported bare
+        if name not in SYNC_FACTORIES:
+            continue
+        for target in node.targets:
+            attr = self_attribute(target)
+            if attr is not None:
+                sync.add(attr)
+                if name in LOCK_FACTORIES:
+                    locks.add(attr)
+    return locks, sync
+
+
+def _thread_entry_methods(cls: ast.ClassDef) -> Set[str]:
+    """Methods run on their own threads: ``Thread(target=self.X)``
+    targets anywhere in the class, plus the wire-dispatch seam."""
+    entries: Set[str] = set(DISPATCH_ENTRY_METHODS)
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        callee_name = (
+            callee.attr
+            if isinstance(callee, ast.Attribute)
+            else callee.id
+            if isinstance(callee, ast.Name)
+            else None
+        )
+        if callee_name != "Thread":
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                attr = self_attribute(keyword.value)
+                if attr is not None:
+                    entries.add(attr)
+    return entries
+
+
+def _mutation_sites(
+    method: ast.AST, lock_attrs: Set[str]
+) -> List[Tuple[str, int, bool]]:
+    """``(attr, line, under-lock?)`` for every ``self.<attr>`` mutation.
+
+    Recognised mutations: assignment (plain, annotated, augmented,
+    tuple-unpacking), subscript assignment (``self.X[k] = v``), ``del``,
+    and in-place mutator calls (``self.X.append(...)``).  Nested defs and
+    lambdas are skipped (their execution context is unknowable here).
+    """
+    sites: List[Tuple[str, int, bool]] = []
+
+    def targeted_attr(target: ast.AST) -> Optional[str]:
+        attr = self_attribute(target)
+        if attr is not None:
+            return attr
+        if isinstance(target, ast.Subscript):
+            return self_attribute(target.value)
+        return None
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            child_locked = locked
+            if isinstance(child, ast.With):
+                for item in child.items:
+                    attr = self_attribute(item.context_expr)
+                    if attr in lock_attrs:
+                        child_locked = True
+            if isinstance(child, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    elements = (
+                        target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for element in elements:
+                        attr = targeted_attr(element)
+                        if attr is not None:
+                            sites.append((attr, child.lineno, child_locked))
+            elif isinstance(child, ast.Delete):
+                for target in child.targets:
+                    attr = targeted_attr(target)
+                    if attr is not None:
+                        sites.append((attr, child.lineno, child_locked))
+            elif isinstance(child, ast.Call) and isinstance(
+                child.func, ast.Attribute
+            ):
+                if child.func.attr in MUTATOR_METHODS:
+                    attr = self_attribute(child.func.value)
+                    if attr is not None:
+                        sites.append((attr, child.lineno, child_locked))
+            visit(child, child_locked)
+
+    visit(method, False)
+    return sites

@@ -1,0 +1,158 @@
+"""R4 — error taxonomy: the library fails through ``repro.errors``.
+
+Callers are promised (``errors.py`` docstring) that every deliberate
+failure derives from :class:`~repro.errors.ReproError`, so they can
+catch library errors without swallowing programming bugs.  Two edits
+erode that promise silently: a ``raise ValueError(...)`` deep in a
+kernel, and a broad ``except Exception`` that quietly eats more than its
+author intended.  The second already has a written convention — every
+broad except carries ``# noqa: BLE001 - <reason>`` (see ``parallel.py``)
+— but nothing checked the comment was present or the reason non-empty.
+
+So two checks, library-wide:
+
+* **builtin raises** — ``raise <Builtin>(...)`` for a known builtin
+  exception name is flagged; raise the matching ``repro.errors`` type
+  (many subclass the builtin, e.g. ``ValidationError(ReproError,
+  ValueError)``, so callers keep working).  ``raise NotImplementedError``
+  (the abstract-method idiom) and bare re-raises are exempt.
+* **broad excepts** — every ``except Exception`` / ``BaseException``
+  handler line must end with ``# noqa: BLE001 - <reason>`` with a
+  non-empty reason; a bare ``# noqa: BLE001`` is a suppression without
+  an argument and is flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Sequence
+
+from repro.analysis.base import (
+    Finding,
+    Module,
+    Rule,
+    dotted_name,
+    enclosing_symbols,
+)
+
+#: builtin exception names library code must not raise directly.
+BUILTIN_EXCEPTIONS = {
+    "Exception",
+    "BaseException",
+    "ValueError",
+    "TypeError",
+    "RuntimeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "AttributeError",
+    "OSError",
+    "IOError",
+    "ConnectionError",
+    "TimeoutError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OverflowError",
+    "FloatingPointError",
+    "AssertionError",
+    "StopIteration",
+    "SystemExit",
+    "MemoryError",
+}
+
+#: the abstract-method idiom stays legal.
+EXEMPT_RAISES = {"NotImplementedError"}
+
+#: handler line must match this: ``# noqa: BLE001 - why it is safe``.
+_NOQA_WITH_REASON = re.compile(r"#\s*noqa:\s*BLE001\s*-\s*\S")
+_NOQA_BARE = re.compile(r"#\s*noqa:\s*BLE001")
+
+#: broad handler type names.
+BROAD_TYPES = {"Exception", "BaseException"}
+
+
+class ErrorTaxonomyRule(Rule):
+    rule_id = "R4"
+    name = "error-taxonomy"
+    description = (
+        "library raises only repro.errors types; every broad "
+        "'except Exception' carries '# noqa: BLE001 - reason'"
+    )
+
+    def check(self, modules: Sequence[Module]) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in modules:
+            findings.extend(self._check_raises(module))
+            findings.extend(self._check_broad_excepts(module))
+        return findings
+
+    def _check_raises(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            name = dotted_name(target)
+            if name is None or "." in name:
+                continue  # re-raised variables and qualified names pass
+            if name in EXEMPT_RAISES or name not in BUILTIN_EXCEPTIONS:
+                continue
+            symbol = symbols.get(id(node), "<module>")
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.rel,
+                    line=node.lineno,
+                    message=(
+                        f"raises builtin {name}; raise the matching "
+                        "repro.errors type instead (the hierarchy "
+                        "subclasses the builtins callers expect)"
+                    ),
+                    key=f"R4:{module.rel}:{symbol}:{name}",
+                )
+            )
+        return findings
+
+    def _check_broad_excepts(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        symbols = enclosing_symbols(module.tree)
+        per_symbol: Dict[str, int] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            if dotted_name(node.type) not in BROAD_TYPES:
+                continue
+            symbol = symbols.get(id(node), "<module>")
+            index = per_symbol.get(symbol, 0)
+            per_symbol[symbol] = index + 1
+            line_text = (
+                module.lines[node.lineno - 1]
+                if node.lineno - 1 < len(module.lines)
+                else ""
+            )
+            if _NOQA_WITH_REASON.search(line_text):
+                continue
+            if _NOQA_BARE.search(line_text):
+                problem = (
+                    "bare '# noqa: BLE001' — add the reason: "
+                    "'# noqa: BLE001 - why swallowing is safe'"
+                )
+            else:
+                problem = (
+                    "broad 'except Exception' without "
+                    "'# noqa: BLE001 - reason' justification"
+                )
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.rel,
+                    line=node.lineno,
+                    message=problem,
+                    key=f"R4:{module.rel}:{symbol}:broad-except:{index}",
+                )
+            )
+        return findings

@@ -1,0 +1,158 @@
+"""R3 — wire-protocol completeness: client and server op tables agree.
+
+The wire protocol is length-prefixed pickled tuples whose first element
+is an op string (``utils/transport.py`` module docstring).  The dispatch
+table lives in ``handle_request`` / ``ConsensusServer.handle``; the call
+sites live in ``RemoteExecutor`` / ``ServeClient`` / the checkpoint
+shipper.  Nothing ties the two sides together — an op added to one side
+only is either dead server code or a client request that every daemon
+answers with ``("err", ValidationError(...))``, and both failure shapes
+have shipped in real systems because no test enumerates the tables.
+
+This rule recovers both tables statically:
+
+* **server ops** — in any function named ``handle`` or
+  ``handle_request``, every comparison of the name ``op`` against a
+  string literal (``op == "ping"``, ``op in ("a", "b")``);
+* **client ops** — the first element of every tuple literal passed to a
+  call named ``request``/``_request``/``send``, plus tuple literals that
+  are the body of a lambda (the ``_dispatch(lambda tasks: ("map_on",
+  ...))`` message-factory pattern).
+
+Reply tuples never trip the client collector: servers *return* them or
+``send()`` a variable, not a literal.  Each unmatched op is one finding,
+keyed on the op name alone so the baseline survives any edit that does
+not change the protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.base import Finding, Module, Rule, dotted_name
+
+#: function/method names whose bodies define the server dispatch table.
+SERVER_DISPATCH_FUNCTIONS = {"handle", "handle_request"}
+
+#: callee names whose tuple-literal arguments are client requests.
+CLIENT_SEND_FUNCTIONS = {"request", "_request", "send"}
+
+
+class WireProtocolRule(Rule):
+    rule_id = "R3"
+    name = "wire-protocol"
+    description = (
+        "every op dispatched in handle()/handle_request() has a client "
+        "call site, and every op a client sends is dispatched somewhere"
+    )
+
+    def check(self, modules: Sequence[Module]) -> List[Finding]:
+        # op -> (rel path, line) of one representative site per side
+        server_ops: Dict[str, Tuple[str, int]] = {}
+        client_ops: Dict[str, Tuple[str, int]] = {}
+        for module in modules:
+            for op, line in _server_ops(module.tree):
+                server_ops.setdefault(op, (module.rel, line))
+            for op, line in _client_ops(module.tree):
+                client_ops.setdefault(op, (module.rel, line))
+        if not server_ops and not client_ops:
+            return []
+        findings: List[Finding] = []
+        for op in sorted(set(server_ops) - set(client_ops)):
+            rel, line = server_ops[op]
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=rel,
+                    line=line,
+                    message=(
+                        f"server dispatches op {op!r} but no client call "
+                        "site sends it — dead protocol surface (or a "
+                        "missing client method)"
+                    ),
+                    key=f"R3:server-only:{op}",
+                )
+            )
+        for op in sorted(set(client_ops) - set(server_ops)):
+            rel, line = client_ops[op]
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=rel,
+                    line=line,
+                    message=(
+                        f"client sends op {op!r} but no handle()/"
+                        "handle_request() dispatches it — every daemon "
+                        "will answer with an error reply"
+                    ),
+                    key=f"R3:client-only:{op}",
+                )
+            )
+        return findings
+
+
+def _server_ops(tree: ast.Module) -> List[Tuple[str, int]]:
+    """``(op, line)`` for every literal the dispatch seam compares against."""
+    ops: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name not in SERVER_DISPATCH_FUNCTIONS:
+            continue
+        for compare in ast.walk(node):
+            if not isinstance(compare, ast.Compare):
+                continue
+            left = compare.left
+            if not (isinstance(left, ast.Name) and left.id == "op"):
+                continue
+            for operator, comparator in zip(compare.ops, compare.comparators):
+                if isinstance(operator, (ast.Eq, ast.In)):
+                    ops.extend(_string_constants(comparator))
+    return ops
+
+
+def _client_ops(tree: ast.Module) -> List[Tuple[str, int]]:
+    """``(op, line)`` for every request-tuple literal a client builds."""
+    ops: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            if callee.rsplit(".", 1)[-1] not in CLIENT_SEND_FUNCTIONS:
+                continue
+            for arg in node.args:
+                ops.extend(_tuple_head(arg))
+        elif isinstance(node, ast.Lambda):
+            ops.extend(_tuple_head(node.body))
+    return ops
+
+
+def _tuple_head(node: ast.AST) -> List[Tuple[str, int]]:
+    """The leading string constant of a tuple literal, if that is what
+    ``node`` is."""
+    if (
+        isinstance(node, ast.Tuple)
+        and node.elts
+        and isinstance(node.elts[0], ast.Constant)
+        and isinstance(node.elts[0].value, str)
+    ):
+        return [(node.elts[0].value, node.lineno)]
+    return []
+
+
+def _string_constants(node: ast.AST) -> List[Tuple[str, int]]:
+    """String literals in a comparator: one constant, or a tuple/list/set
+    of constants (``op in ("a", "b")``)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [(node.value, node.lineno)]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        found: List[Tuple[str, int]] = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                found.append((element.value, element.lineno))
+        return found
+    return []

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -145,7 +145,7 @@ def state_from_payload(payload: Dict[str, Any]) -> Tuple[CPAState, bool]:
     )
     try:
         state.validate()
-    except Exception as exc:
+    except Exception as exc:  # noqa: BLE001 - rewrapped as CheckpointError
         raise CheckpointError(f"checkpoint state fails validation: {exc}") from exc
     return state, meta.seeded
 
@@ -161,7 +161,7 @@ def checkpoint_from_bytes(blob: bytes) -> Tuple[CPAState, bool]:
     """Inverse of :func:`checkpoint_bytes`."""
     try:
         payload = pickle.loads(blob)
-    except Exception as exc:
+    except Exception as exc:  # noqa: BLE001 - rewrapped as CheckpointError
         raise CheckpointError(f"checkpoint blob is not unpicklable: {exc}") from exc
     return state_from_payload(payload)
 

@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.expectations import answer_log_likelihood
+from repro.errors import InferenceError
 from repro.utils.parallel import Executor, SerialExecutor
 
 #: answers per vectorised chunk on the non-deduplicated fallback path —
@@ -236,7 +237,7 @@ def balanced_bounds(offsets: np.ndarray, total: int, parts: int) -> np.ndarray:
     n_segments = int(offsets.size - 1)
     if parts <= 1 or n_segments <= 1:
         return np.array([0, n_segments], dtype=np.int64)
-    targets = np.linspace(0, total, parts + 1)[1:-1]
+    targets = np.linspace(0, total, parts + 1, dtype=np.float64)[1:-1]
     cuts = np.searchsorted(offsets, targets, side="left")
     return np.unique(np.concatenate([[0], cuts, [n_segments]])).astype(np.int64)
 
@@ -582,7 +583,7 @@ class SweepKernel:
         """``out[u] += Σ_{n: u_n=u} Σ_t ϕ[i_n, t] L[n, t, ·]`` (Eq. 2 data term)."""
         executor = executor or _SERIAL
         if self._e_log_psi is None:
-            raise RuntimeError("begin_sweep must be called before score accumulation")
+            raise InferenceError("begin_sweep must be called before score accumulation")
         if self.patterned:
             weighted = self._pattern_weighted(
                 phi[self.items_by_pattern], swap=False, executor=executor
@@ -599,7 +600,7 @@ class SweepKernel:
         """``out[i] += Σ_{n: i_n=i} Σ_m κ[u_n, m] L[n, ·, m]`` (Eq. 3 data term)."""
         executor = executor or _SERIAL
         if self._e_log_psi is None:
-            raise RuntimeError("begin_sweep must be called before score accumulation")
+            raise InferenceError("begin_sweep must be called before score accumulation")
         if self.patterned:
             weighted = self._pattern_weighted(
                 kappa[self.workers_by_pattern], swap=True, executor=executor

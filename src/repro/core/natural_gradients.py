@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import CPAConfig
+from repro.errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -92,7 +93,7 @@ def learning_rate(batch_index: int, forgetting_rate: float) -> float:
     Robbins-Monro conditions ``Σω = ∞``, ``Σω² < ∞``.
     """
     if batch_index < 1:
-        raise ValueError("batch_index is 1-based")
+        raise ValidationError("batch_index is 1-based")
     return float((1.0 + batch_index) ** (-forgetting_rate))
 
 

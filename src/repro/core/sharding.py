@@ -79,7 +79,7 @@ from repro.core.kernels import (
     segment_sum,
     unique_patterns,
 )
-from repro.errors import ValidationError
+from repro.errors import InferenceError, ValidationError
 from repro.utils.parallel import Executor, SerialExecutor
 
 _SERIAL = SerialExecutor()
@@ -634,7 +634,7 @@ class ShardedSweepKernel:
         """``out[u] += Σ_{n: u_n=u} Σ_t ϕ[i_n, t] L[n, t, ·]``, shard-merged."""
         executor = executor or _SERIAL
         if self._e_log_psi is None:
-            raise RuntimeError("begin_sweep must be called before score accumulation")
+            raise InferenceError("begin_sweep must be called before score accumulation")
         tasks = [
             (shard.index, psi, rows)
             for shard, psi, rows in zip(
@@ -664,7 +664,7 @@ class ShardedSweepKernel:
         """
         executor = executor or _SERIAL
         if self._e_log_psi is None:
-            raise RuntimeError("begin_sweep must be called before score accumulation")
+            raise InferenceError("begin_sweep must be called before score accumulation")
         tasks = [
             (shard.index, psi, rows)
             for shard, psi, rows in zip(

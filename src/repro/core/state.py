@@ -26,7 +26,7 @@ estimator divides by, and — during online learning — ``mu``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -72,7 +72,12 @@ class CPAState:
                 raise ValidationError(f"{name} has shape {array.shape}, expected {shape}")
             if not np.all(np.isfinite(array)):
                 raise ValidationError(f"{name} contains non-finite values")
-        for name, array in (("rho", self.rho), ("ups", self.ups), ("lam", self.lam), ("zeta", self.zeta)):
+        for name, array in (
+            ("rho", self.rho),
+            ("ups", self.ups),
+            ("lam", self.lam),
+            ("zeta", self.zeta),
+        ):
             if np.any(array <= 0):
                 raise ValidationError(f"{name} must stay strictly positive")
         for name, array in (("kappa", self.kappa), ("phi", self.phi)):

@@ -20,7 +20,7 @@ key, globals are reduced centrally and re-broadcast).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -172,14 +172,15 @@ def _map_worker_task(
     n_chunk_workers = plan.stop - plan.start
     n_clusters, n_communities = pattern_like.shape[1], pattern_like.shape[2]
 
+    score_dtype = np.result_type(pattern_like, e_log_pi)
     if phi_p.shape[0] == 0:
         return (
             plan.start,
             plan.stop,
             np.tile(log_normalize_rows(e_log_pi[None, :]), (n_chunk_workers, 1)),
-            np.zeros((n_batch_items, n_clusters)),
-            np.zeros((n_patterns, n_clusters, n_communities)),
-            np.zeros(n_communities),
+            np.zeros((n_batch_items, n_clusters), dtype=score_dtype),
+            np.zeros((n_patterns, n_clusters, n_communities), dtype=score_dtype),
+            np.zeros(n_communities, dtype=score_dtype),
         )
 
     # κ update (Eq. 2): aggregate ϕ-weighted likelihood per worker.
@@ -274,7 +275,7 @@ class StochasticInference:
             mask[truth.known_items()] = True
             self.truth_mask = mask
         else:
-            self.truth_indicator = np.zeros((n_items, n_labels))
+            self.truth_indicator = np.zeros((n_items, n_labels), dtype=np.float64)
             self.truth_mask = np.zeros(n_items, dtype=bool)
 
     # -------------------------------------------------------------- checkpoints
@@ -338,7 +339,7 @@ class StochasticInference:
         if self.state.mu is None:
             self.state.sync_mu_from_phi()
         if n_labels > self.n_labels or n_items > self.n_items:
-            indicator = np.zeros((n_items, n_labels))
+            indicator = np.zeros((n_items, n_labels), dtype=np.float64)
             indicator[: self.n_items, : self.n_labels] = self.truth_indicator
             self.truth_indicator = indicator
             mask = np.zeros(n_items, dtype=bool)
@@ -390,7 +391,9 @@ class StochasticInference:
         phi_batch = state.phi[data.batch_items]  # provisional (I_b, T)
         kappa_batch = state.kappa[data.batch_workers]
         counts = mass = kappa_mass = None
-        mu_target = np.zeros((data.batch_items.size, state.n_clusters - 1))
+        mu_target = np.zeros(
+            (data.batch_items.size, state.n_clusters - 1), dtype=np.float64
+        )
         for _ in range(self.config.svi_iterations):
             kappa_batch, evidence, counts, mass, kappa_mass = self._map_reduce(
                 data, phi_batch, e_log_pi, e_log_psi
@@ -837,7 +840,9 @@ class StochasticInference:
 
     def _supervised_scores(self, data: _BatchData) -> np.ndarray:
         """Observed-truth contribution to the batch items' cluster scores."""
-        scores = np.zeros((data.batch_items.size, self.state.n_clusters))
+        scores = np.zeros(
+            (data.batch_items.size, self.state.n_clusters), dtype=np.float64
+        )
         observed = self.truth_mask[data.batch_items]
         if observed.any():
             e_log_phi, e_log_phi_c = expected_log_phi_beta(self.state.zeta)
@@ -849,7 +854,9 @@ class StochasticInference:
         self, data: _BatchData, phi_batch: np.ndarray
     ) -> np.ndarray:
         """Observed-truth presence/absence counts for Eq. 10."""
-        zeta_counts = np.zeros((self.state.n_clusters, self.n_labels, 2))
+        zeta_counts = np.zeros(
+            (self.state.n_clusters, self.n_labels, 2), dtype=np.float64
+        )
         observed = self.truth_mask[data.batch_items]
         if observed.any():
             phi_obs = phi_batch[observed]

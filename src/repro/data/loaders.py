@@ -100,7 +100,7 @@ def write_answers_csv(matrix: AnswerMatrix, path: PathLike) -> None:
         writer.writerow(["item", "worker", "labels"])
         for answer in matrix.iter_answers():
             writer.writerow(
-                [answer.item, answer.worker, "|".join(str(l) for l in sorted(answer.labels))]
+                [answer.item, answer.worker, "|".join(str(lab) for lab in sorted(answer.labels))]
             )
 
 

@@ -78,6 +78,14 @@ class ExperimentError(ReproError):
     """An experiment module was misconfigured or referenced an unknown id."""
 
 
+class AnalysisError(ReproError):
+    """The static-analysis pass (:mod:`repro.analysis`) cannot run.
+
+    Raised for unparseable sources, malformed baseline files, and unknown
+    rule ids — infrastructure failures of the analyzer itself, distinct
+    from the findings it reports (findings are data, not exceptions)."""
+
+
 class ConvergenceWarning(UserWarning):
     """Inference stopped at the iteration cap before meeting its tolerance."""
 

@@ -10,7 +10,7 @@ answers against ground truth.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 

@@ -56,9 +56,11 @@ def run(
         c for c in detected_label_clusters(graph, min_weight=component_threshold)
         if len(c) > 1
     ]
-    generating: List[Sequence[int]] = dataset.extras.get("label_space_clusters", [])  # type: ignore[assignment]
+    generating: List[Sequence[int]] = dataset.extras.get(  # type: ignore[assignment]
+        "label_space_clusters", []
+    )
     comp_rows = [
-        (i, len(component), "{" + ",".join(str(l) for l in sorted(component)) + "}")
+        (i, len(component), "{" + ",".join(str(lab) for lab in sorted(component)) + "}")
         for i, component in enumerate(components)
     ]
     comp_table = format_table(
@@ -74,7 +76,7 @@ def run(
             assignment[label] = index
     purity_values = []
     for component in components:
-        owners = [assignment[l] for l in component if l in assignment]
+        owners = [assignment[lab] for lab in component if lab in assignment]
         if owners:
             purity_values.append(
                 max(np.bincount(owners)) / len(owners)

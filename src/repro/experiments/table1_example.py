@@ -51,7 +51,7 @@ def build_table1_dataset() -> CrowdDataset:
 
 def _format_sets(predictions: Dict[int, FrozenSet[int]]) -> Dict[int, str]:
     return {
-        item: "{" + ",".join(LABEL_NAMES[l] for l in sorted(labels)) + "}"
+        item: "{" + ",".join(LABEL_NAMES[lab] for lab in sorted(labels)) + "}"
         for item, labels in predictions.items()
     }
 
@@ -79,7 +79,7 @@ def run(seed: int = 0) -> ExperimentReport:
     rows = []
     for item in range(4):
         worker_answers = [
-            "{" + ",".join(LABEL_NAMES[l] for l in sorted(TABLE1_ANSWERS[(item, u)])) + "}"
+            "{" + ",".join(LABEL_NAMES[lab] for lab in sorted(TABLE1_ANSWERS[(item, u)])) + "}"
             for u in range(5)
         ]
         rows.append(

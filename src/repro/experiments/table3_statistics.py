@@ -8,7 +8,6 @@ ordering, answer skew, density) can be checked at a glance.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.data.statistics import DatasetStatistics, compute_statistics
 from repro.experiments.registry import ExperimentReport, register

@@ -402,7 +402,7 @@ class ConsensusServer(WorkerServer):
             try:
                 dumps(exc)
                 return ("err", exc, tb_text)
-            except Exception:  # noqa: BLE001
+            except Exception:  # noqa: BLE001 - unpicklable error ships as repr
                 return ("err", repr(exc), tb_text)
         return handle_request(message, self.registry)
 
@@ -500,6 +500,13 @@ class ServeClient:
 
     def status(self) -> Dict[str, Any]:
         return self._request(("status",))
+
+    def ping(self) -> str:
+        """Round-trip the shared ``ping`` op; returns ``"pong"``.
+
+        Liveness probe for supervisors: it exercises the full framed
+        request path without touching the engine."""
+        return self._request(("ping",))
 
     def snapshot(self) -> Dict[str, Any]:
         """Pull the full snapshot payload (no chunk dedup — see

@@ -23,7 +23,7 @@ from repro.simulation.truth import build_truth_model, sample_truth
 from repro.utils.random import Seed, spawn_rngs
 from repro.workers.behavior import AnswerBehavior
 from repro.workers.population import PopulationSpec, sample_population
-from repro.workers.types import WorkerProfile, WorkerType
+from repro.workers.types import WorkerProfile
 
 
 @dataclass(frozen=True)

@@ -110,9 +110,9 @@ def build_truth_model(
         core: set[int] = set()
         while len(core) < n_core:
             if rng.random() < correlation_strength and len(core) < len(theme_labels):
-                pool = [l for l in theme_labels if l not in core]
+                pool = [lab for lab in theme_labels if lab not in core]
             else:
-                pool = [l for l in range(n_labels) if l not in core]
+                pool = [lab for lab in range(n_labels) if lab not in core]
             core.add(int(rng.choice(pool)))
 
         fringe_level = fringe_inclusion * correlation_strength

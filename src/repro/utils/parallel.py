@@ -56,7 +56,7 @@ import tempfile
 import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import ConfigurationError, TransportError, ValidationError
 from repro.utils import transport as _transport
@@ -651,7 +651,7 @@ class RemoteExecutor(Executor):
         host, port = _transport.parse_address(address)
         normalized = _transport.format_address(host, port)
         lane = next(
-            (l for l in self._lanes if l.address == normalized), None
+            (ln for ln in self._lanes if ln.address == normalized), None
         )
         if lane is None:
             raise ConfigurationError(
@@ -659,7 +659,7 @@ class RemoteExecutor(Executor):
                 f"executor; current lanes: {self.live_workers()}"
             )
         if not lane.dead and all(
-            l.dead for l in self._lanes if l is not lane
+            ln.dead for ln in self._lanes if ln is not lane
         ):
             raise ConfigurationError(
                 f"cannot remove {normalized!r}: it is the last live lane "
@@ -919,7 +919,7 @@ class RemoteExecutor(Executor):
             need_fallback = True
         except TransportError:
             raise
-        except Exception as exc:  # noqa: BLE001
+        except Exception as exc:  # noqa: BLE001 - assemble error deferred past drain
             if deferred_error is None:
                 deferred_error = exc
         if deferred_error is not None:

@@ -13,6 +13,8 @@ from typing import Iterable, Optional, Union
 
 import numpy as np
 
+from repro.errors import ValidationError
+
 Seed = Union[int, np.random.Generator, None]
 
 
@@ -36,7 +38,7 @@ def spawn_rngs(seed: Seed, count: int) -> list[np.random.Generator]:
     child consumes.
     """
     if count < 0:
-        raise ValueError("count must be non-negative")
+        raise ValidationError("count must be non-negative")
     if isinstance(seed, np.random.Generator):
         seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
         if seq is None:  # pragma: no cover - non-default bit generators

@@ -70,7 +70,7 @@ import struct
 import threading
 import time
 import traceback
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import TransportError, ValidationError, WorkerFailure
 
@@ -567,7 +567,7 @@ def handle_request(message: Any, registry: PayloadRegistry) -> Tuple:
         try:
             dumps(exc)  # only ship exceptions that survive pickling
             return ("err", exc, tb_text)
-        except Exception:  # noqa: BLE001
+        except Exception:  # noqa: BLE001 - unpicklable error ships as repr
             return ("err", repr(exc), tb_text)
 
 
@@ -635,8 +635,9 @@ class WorkerServer:
                 )
                 # prune finished handlers: a long-lived daemon serves many
                 # short-lived connections and must not grow without bound
-                self._threads = [t for t in self._threads if t.is_alive()]
-                self._threads.append(thread)
+                with self._lock:
+                    self._threads = [t for t in self._threads if t.is_alive()]
+                    self._threads.append(thread)
                 thread.start()
         finally:
             self._close_listener()
@@ -677,7 +678,10 @@ class WorkerServer:
                 if not alive:
                     break
                 op = message[0] if isinstance(message, tuple) and message else "?"
-                self.op_counts[op] = self.op_counts.get(op, 0) + 1
+                # one handler thread per connection shares this counter:
+                # read-modify-write must not interleave (lost increments)
+                with self._lock:
+                    self.op_counts[op] = self.op_counts.get(op, 0) + 1
                 reply = self.handle(message)
                 if op == "shutdown":
                     # stop accepting *before* acknowledging, so a client

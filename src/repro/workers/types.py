@@ -168,7 +168,7 @@ def sample_profile(
         size = max(1, int(round(rng.uniform(1.0, max(1.0, typical_answer_size)))))
         labels = rng.choice(n_labels, size=min(size, n_labels), replace=False)
         return WorkerProfile(
-            worker_type=worker_type, fixed_answer=frozenset(int(l) for l in labels)
+            worker_type=worker_type, fixed_answer=frozenset(int(lab) for lab in labels)
         )
     if worker_type is WorkerType.RANDOM_SPAMMER:
         inclusion = min(0.9, max(1e-3, typical_answer_size / n_labels))

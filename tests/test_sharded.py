@@ -265,11 +265,13 @@ class TestShardedKernelAlgebra:
         np.testing.assert_allclose(out, expected, **PARITY)
 
     def test_requires_begin_sweep(self):
+        from repro.errors import InferenceError
+
         items, workers, x, phi, kappa, _ = _random_problem(7)
         kernel = ShardedSweepKernel(items, workers, x, n_items=40, n_workers=25)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(InferenceError):
             kernel.add_worker_scores(np.zeros((25, 4)), phi)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(InferenceError):
             kernel.add_item_scores(np.zeros((40, 5)), kappa)
 
     def test_factory_selects_backend(self):

@@ -1282,3 +1282,53 @@ def _len_of(payload, task):
 
 def _shape_of(payload, task):
     return payload.shape[0] + task
+
+
+# ------------------------------------------------- handler-thread locking
+
+
+@network
+class TestServerCounterLocking:
+    """Regression pin for the ``op_counts`` lost-update race (R2).
+
+    Each accepted connection runs its handler on its own thread, and all
+    of them bump the shared ``op_counts`` dict.  Before the fix the
+    read-modify-write was unlocked, so concurrent pings could lose
+    increments; the static pass (``repro.analysis`` R2) flags the
+    pattern, and this test holds the behavioural contract: every served
+    request is counted exactly once.
+    """
+
+    def test_concurrent_pings_all_counted(self):
+        import threading
+
+        n_threads, pings_each = 8, 40
+        server = WorkerServer().serve_in_thread()
+        try:
+            barrier = threading.Barrier(n_threads)
+            errors = []
+
+            def hammer():
+                try:
+                    channel = connect(server.host, server.port)
+                    barrier.wait(timeout=10.0)
+                    for _ in range(pings_each):
+                        assert (
+                            request(channel, ("ping",), timeout=10.0) == "pong"
+                        )
+                    channel.close()
+                except Exception as exc:  # pragma: no cover - fail loudly
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, daemon=True)
+                for _ in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert not errors
+            assert server.op_counts["ping"] == n_threads * pings_each
+        finally:
+            server.close()
