@@ -74,6 +74,7 @@ from repro.utils.random import Seed
 from repro.utils.transport import (
     Channel,
     ChunksMissing,
+    StaleBroadcast,
     WorkerServer,
     chunk_digest,
     connect,
@@ -282,6 +283,12 @@ class ConsensusEngine:
         parameter arrays in insertion order, keeping the big arrays at
         stable byte offsets between snapshots — that is what makes
         chunk-level dedup effective (:func:`ship_checkpoint`).
+
+        Pure construction: the ``snapshot_age_*`` metrics are *not*
+        touched — a monitoring pull or a bootstrapping replica reading
+        the payload must not make the writer look freshly snapshotted.
+        The path that durably captured the snapshot calls
+        :meth:`mark_snapshot` afterwards.
         """
         with self._lock:
             payload = self.engine.checkpoint()
@@ -296,25 +303,47 @@ class ConsensusEngine:
             }
             payload["answers_seen"] = self.answers_seen
             payload["answers_applied"] = self.answers_applied
-            self._steps_since_snapshot = 0
-            self._snapshot_clock = time.monotonic()
             return payload
 
+    def mark_snapshot(self) -> None:
+        """Reset the snapshot-age clock: a snapshot of this posterior was
+        durably captured (shipped to the replica fleet, written to disk).
+
+        Kept separate from :meth:`snapshot_payload` on purpose: any
+        connection may *pull* a snapshot read-only, and those pulls must
+        not zero ``snapshot_age_steps``/``snapshot_age_seconds`` — the
+        metrics answer "how much would a crash lose", which only an
+        actually-retained snapshot changes."""
+        with self._lock:
+            self._steps_since_snapshot = 0
+            self._snapshot_clock = time.monotonic()
+
     def restore(self, payload: Dict[str, Any]) -> None:
-        """Adopt a snapshot payload (posterior, answers, counters)."""
+        """Adopt a snapshot payload (posterior, answers, counters).
+
+        Accepts both payload shapes — a full serving snapshot
+        (:meth:`snapshot_payload`) and a bare :mod:`repro.core.checkpoint`
+        payload (the documented ``--checkpoint`` warm-start format).
+        Either way the snapshot's index spaces must not exceed the
+        engine's; the guard runs up front for both shapes, before any
+        serving state is replaced.  When the payload carries no serving
+        counters, ``answers_seen``/``answers_applied`` are derived from
+        the answer matrix actually being served after the restore, so
+        ``answers_behind`` cannot inherit a previous life's counts.
+        """
         with self._lock:
             meta = payload_meta(payload)
+            if (
+                meta.n_items > self.engine.n_items
+                or meta.n_workers > self.engine.n_workers
+                or meta.n_labels > self.engine.n_labels
+            ):
+                raise CheckpointError(
+                    "snapshot is larger than the serving engine; start "
+                    "the daemon with at least the snapshot's index sizes"
+                )
             answers_meta = payload.get("answers")
             if answers_meta is not None:
-                if (
-                    meta.n_items > self.engine.n_items
-                    or meta.n_workers > self.engine.n_workers
-                    or meta.n_labels > self.engine.n_labels
-                ):
-                    raise CheckpointError(
-                        "snapshot is larger than the serving engine; start "
-                        "the daemon with at least the snapshot's index sizes"
-                    )
                 restored = AnswerMatrix.from_mapping(
                     self.engine.n_items,
                     self.engine.n_workers,
@@ -323,9 +352,11 @@ class ConsensusEngine:
                 )
                 self.answers = restored
             self.engine.restore(payload)
-            self.answers_seen = int(payload.get("answers_seen", self.answers_seen))
+            self.answers_seen = int(
+                payload.get("answers_seen", self.answers.n_answers)
+            )
             self.answers_applied = int(
-                payload.get("answers_applied", self.answers_applied)
+                payload.get("answers_applied", self.answers.n_answers)
             )
             self._pending.clear()
             self._consensus = None
@@ -343,6 +374,13 @@ class ConsensusServer(WorkerServer):
     every ingest, so queries always see the freshest posterior; switch it
     off to batch folds explicitly via the ``step`` op and observe
     non-zero ``answers_behind``.
+
+    ``read_only`` turns the daemon into a fleet *read replica*
+    (:mod:`repro.fleet`): ``ingest``/``step`` are refused loudly — the
+    single writer owns the stream and replicas only ever change state
+    through the checkpoint-refresh path (``restore``/``restore_key``),
+    which keeps every replica bitwise-identical to the snapshot it was
+    last shipped.
     """
 
     def __init__(
@@ -352,6 +390,7 @@ class ConsensusServer(WorkerServer):
         port: int = 0,
         *,
         auto_step: bool = True,
+        read_only: bool = False,
         payload_cap: int = 8,
         chunk_cache_bytes: int = 256 << 20,
     ) -> None:
@@ -360,12 +399,18 @@ class ConsensusServer(WorkerServer):
         )
         self.engine = engine
         self.auto_step = auto_step
+        self.read_only = read_only
 
     def handle(self, message: Any) -> Tuple:
         if not isinstance(message, tuple) or not message:
             return handle_request(message, self.registry)
         op = message[0]
         try:
+            if self.read_only and op in ("ingest", "step"):
+                raise ValidationError(
+                    f"{op!r} refused: this daemon is a read replica; "
+                    "answers go to the fleet's writer"
+                )
             if op == "ingest":
                 self.engine.ingest(message[1])
                 if self.auto_step:
@@ -451,17 +496,31 @@ def ship_checkpoint(
         data = by_digest[digest]
         request(channel, ("chunk_put", digest, data), timeout=timeout)
         shipped_bytes += len(data)
-    try:
-        request(channel, ("chunk_assemble", key, digests), timeout=timeout)
-    except ChunksMissing as exc:
-        # evicted between probe and assemble: one bounded re-ship, no loop
-        for digest in exc.digests:
-            data = by_digest[digest]
-            request(channel, ("chunk_put", digest, data), timeout=timeout)
-            shipped_bytes += len(data)
-        request(channel, ("chunk_assemble", key, digests), timeout=timeout)
+
+    def assemble() -> None:
+        nonlocal shipped_bytes
+        try:
+            request(channel, ("chunk_assemble", key, digests), timeout=timeout)
+        except ChunksMissing as exc:
+            # evicted between probe and assemble: one bounded re-ship, no loop
+            for digest in exc.digests:
+                data = by_digest[digest]
+                request(channel, ("chunk_put", digest, data), timeout=timeout)
+                shipped_bytes += len(data)
+            request(channel, ("chunk_assemble", key, digests), timeout=timeout)
+
+    assemble()
     if restore:
-        request(channel, ("restore_key", key), timeout=timeout)
+        try:
+            request(channel, ("restore_key", key), timeout=timeout)
+        except StaleBroadcast:
+            # The assembled payload was LRU-evicted between assemble and
+            # restore (concurrent broadcast churn on a small payload cap).
+            # The chunks are still (mostly) resident, so re-assembling and
+            # retrying once is cheap; a second eviction is a configuration
+            # problem and the StaleBroadcast escapes loudly.
+            assemble()
+            request(channel, ("restore_key", key), timeout=timeout)
     return ShipReport(
         total_bytes=len(blob),
         shipped_bytes=shipped_bytes,
@@ -520,10 +579,15 @@ class ServeClient:
         self,
         blob: bytes,
         *,
+        key: str = CHECKPOINT_KEY,
         chunk_bytes: int = DEFAULT_CHECKPOINT_CHUNK_BYTES,
     ) -> ShipReport:
         return ship_checkpoint(
-            self._channel, blob, chunk_bytes=chunk_bytes, timeout=self.timeout
+            self._channel,
+            blob,
+            key=key,
+            chunk_bytes=chunk_bytes,
+            timeout=self.timeout,
         )
 
     def shutdown(self) -> None:
@@ -615,6 +679,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "explicit 'step' requests (lets answers_behind grow)",
     )
     parser.add_argument(
+        "--read-only",
+        action="store_true",
+        help="serve as a fleet read replica: refuse ingest/step, accept "
+        "queries and checkpoint refreshes (see repro.fleet)",
+    )
+    parser.add_argument(
         "--port-file",
         default=None,
         help="write the bound 'host:port' here once listening (lets scripts "
@@ -659,6 +729,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         host,
         port,
         auto_step=not args.no_auto_step,
+        read_only=args.read_only,
         payload_cap=args.payload_cap,
         chunk_cache_bytes=args.chunk_cache_mb << 20,
     )
@@ -674,6 +745,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.save_checkpoint:
             with open(args.save_checkpoint, "wb") as handle:
                 handle.write(dumps(engine.snapshot_payload()))
+            engine.mark_snapshot()
         server.close()
     return 0
 

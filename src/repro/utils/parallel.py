@@ -432,12 +432,15 @@ class _Lane:
     payload (LRU eviction, restart) replies ``stale`` and the client
     re-broadcasts — so reconnecting never has to guess daemon state.
 
-    ``health`` is the lane state machine (DESIGN.md §6 "Elastic fleet"):
-    ``"live"`` (usable), or ``"suspect"`` (a per-request deadline expired
+    The lane state machine (DESIGN.md §6 "Elastic fleet") lives in a
+    shared :class:`~repro.utils.transport.LaneHealth` instance:
+    ``"live"`` (usable), ``"suspect"`` (a per-request deadline expired
     with a reply still owed; the channel is kept — partial frames are
     buffered client-side — and the lane is polled for the late reply
     until ``suspect_deadline``, after which it is reconnected or
-    excluded).  Exclusion is the terminal state, recorded in ``dead``.
+    excluded), ``"excluded"`` (terminal).  The same machine drives
+    read-replica failover in :mod:`repro.fleet`; the ``dead``/``health``
+    properties below are the executor's historical view of it.
     """
 
     __slots__ = (
@@ -447,11 +450,8 @@ class _Lane:
         "address",
         "channel",
         "resident_keys",
-        "dead",
-        "reconnects_left",
-        "health",
+        "health_machine",
         "outstanding",
-        "suspect_deadline",
     )
 
     def __init__(self, index: int, address: str, reconnects: int) -> None:
@@ -460,13 +460,50 @@ class _Lane:
         self.address = _transport.format_address(self.host, self.port)
         self.channel: Optional[_transport.Channel] = None
         self.resident_keys: set = set()
-        self.dead = False
-        self.reconnects_left = int(reconnects)
-        self.health = "live"
+        self.health_machine = _transport.LaneHealth(reconnects)
         #: (dispatch token, task indices, broadcast key) of the one
         #: request whose reply this suspect lane still owes.
         self.outstanding: Optional[Tuple[int, List[int], Optional[str]]] = None
-        self.suspect_deadline = 0.0
+
+    @property
+    def dead(self) -> bool:
+        return self.health_machine.excluded
+
+    @dead.setter
+    def dead(self, value: bool) -> None:
+        if value:
+            self.health_machine.exclude()
+        else:
+            self.health_machine.recover()
+
+    @property
+    def health(self) -> str:
+        return self.health_machine.state
+
+    @health.setter
+    def health(self, state: str) -> None:
+        if state == _transport.LaneHealth.LIVE:
+            self.health_machine.recover()
+        elif state == _transport.LaneHealth.SUSPECT:
+            self.health_machine.mark_suspect(self.health_machine.suspect_deadline)
+        else:
+            self.health_machine.exclude()
+
+    @property
+    def reconnects_left(self) -> int:
+        return self.health_machine.reconnects_left
+
+    @reconnects_left.setter
+    def reconnects_left(self, value: int) -> None:
+        self.health_machine.reconnects_left = int(value)
+
+    @property
+    def suspect_deadline(self) -> float:
+        return self.health_machine.suspect_deadline
+
+    @suspect_deadline.setter
+    def suspect_deadline(self, value: float) -> None:
+        self.health_machine.suspect_deadline = float(value)
 
 
 class RemoteExecutor(Executor):

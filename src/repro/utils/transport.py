@@ -380,6 +380,69 @@ class ChunksMissing(Exception):
         self.digests = tuple(digests)
 
 
+class LaneHealth:
+    """The live → suspect → excluded state machine of one remote peer.
+
+    One instance tracks one daemon as seen by one client: *live* (usable),
+    *suspect* (a per-request deadline expired with a reply still owed;
+    queries are routed elsewhere until ``suspect_deadline``), *excluded*
+    (terminal — the reconnect budget ran out).  The transitions and the
+    bounded reconnect budget live here so every consumer agrees on them:
+    :class:`~repro.utils.parallel.RemoteExecutor` lanes drive compute
+    fan-out through it, and the serving fleet router
+    (:class:`repro.fleet.FleetRouter`) drives read-replica failover
+    through the very same machine.
+    """
+
+    LIVE = "live"
+    SUSPECT = "suspect"
+    EXCLUDED = "excluded"
+
+    __slots__ = ("state", "reconnects_left", "suspect_deadline")
+
+    def __init__(self, reconnects: int = 1) -> None:
+        self.state = LaneHealth.LIVE
+        self.reconnects_left = int(reconnects)
+        #: monotonic deadline after which a suspect is reconnected or
+        #: excluded; 0.0 whenever the peer is not suspect.
+        self.suspect_deadline = 0.0
+
+    @property
+    def live(self) -> bool:
+        return self.state == LaneHealth.LIVE
+
+    @property
+    def suspect(self) -> bool:
+        return self.state == LaneHealth.SUSPECT
+
+    @property
+    def excluded(self) -> bool:
+        return self.state == LaneHealth.EXCLUDED
+
+    def mark_suspect(self, deadline: float) -> None:
+        """A reply deadline expired: stop routing new work to the peer."""
+        self.state = LaneHealth.SUSPECT
+        self.suspect_deadline = float(deadline)
+
+    def recover(self) -> None:
+        """The peer answered (or reconnected): back to *live*."""
+        self.state = LaneHealth.LIVE
+        self.suspect_deadline = 0.0
+
+    def exclude(self) -> None:
+        """Terminal: the peer leaves the rotation for good."""
+        self.state = LaneHealth.EXCLUDED
+        self.suspect_deadline = 0.0
+
+    def consume_reconnect(self) -> bool:
+        """Spend one reconnect attempt; ``False`` when the budget is dry
+        (the caller should :meth:`exclude`)."""
+        if self.reconnects_left <= 0:
+            return False
+        self.reconnects_left -= 1
+        return True
+
+
 # ------------------------------------------------------------------ worker
 
 

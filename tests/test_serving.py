@@ -191,14 +191,21 @@ class TestConsensusEngine:
         assert metrics["answers_seen"] == source.answers_seen
         assert metrics["answers_applied"] == source.answers_applied
 
-    def test_snapshot_resets_staleness_clock(self):
+    def test_snapshot_pull_leaves_staleness_clock_alone(self):
+        """Regression (ISSUE 9): a read-only snapshot pull (monitoring, a
+        bootstrapping replica) must not make the writer look freshly
+        snapshotted; only :meth:`mark_snapshot` — called by the path that
+        durably captured the snapshot — resets the age metrics."""
         matrix = _serving_matrix()
         engine = _engine(matrix)
         for batch in _batches(matrix)[:2]:
             engine.ingest(batch)
         engine.step()
-        assert engine.metrics()["snapshot_age_steps"] > 0
-        engine.snapshot_payload()
+        age = engine.metrics()["snapshot_age_steps"]
+        assert age > 0
+        engine.snapshot_payload()  # a read-only pull
+        assert engine.metrics()["snapshot_age_steps"] == age
+        engine.mark_snapshot()
         assert engine.metrics()["snapshot_age_steps"] == 0
 
     def test_auto_grow_on_wider_batch(self):
@@ -233,6 +240,45 @@ class TestConsensusEngine:
         small = _engine(_serving_matrix())
         with pytest.raises(CheckpointError, match="larger"):
             small.restore(source.snapshot_payload())
+
+    def test_restore_rejects_larger_bare_checkpoint(self):
+        """Regression (ISSUE 9): the size guard must also cover bare
+        repro.core.checkpoint payloads (the documented --checkpoint
+        warm-start format), which used to bypass it and surface a
+        misleading 'cannot shrink' error from deep inside grow_state."""
+        big = _engine(_serving_matrix(n_items=SIZES["n_items"] + 10))
+        small = _engine(_serving_matrix())
+        bare = big.engine.checkpoint()  # no "answers" key
+        with pytest.raises(CheckpointError, match="larger than the serving"):
+            small.restore(bare)
+        # nothing was replaced: sizes intact, queries still served
+        metrics = small.metrics()
+        assert metrics["n_items"] == SIZES["n_items"]
+        assert small.answers.n_items == SIZES["n_items"]
+        small.predict([0])
+
+    def test_restore_bare_payload_derives_counters(self):
+        """Regression (ISSUE 9): adopting a payload without serving
+        counters used to keep the prior life's answers_seen/applied, so
+        answers_behind lied about a queue that restore() had cleared."""
+        matrix = _serving_matrix(seed=2)
+        engine = _engine(matrix)
+        batches = _batches(matrix)
+        engine.ingest(batches[0])
+        engine.ingest(batches[1])
+        engine.step(max_batches=1)  # leave the engine genuinely behind
+        assert engine.metrics()["answers_behind"] > 0
+
+        donor = _engine(matrix)
+        donor.ingest(batches[0])
+        donor.step()
+        engine.restore(donor.engine.checkpoint())  # bare: no counters
+        metrics = engine.metrics()
+        # counters derive from the answer matrix actually being served
+        assert metrics["answers_seen"] == engine.answers.n_answers
+        assert metrics["answers_applied"] == engine.answers.n_answers
+        assert metrics["answers_behind"] == 0
+        assert metrics["pending_batches"] == 0
 
 
 # ------------------------------------------------------------------- daemon
@@ -347,6 +393,62 @@ class TestConsensusServer:
                 ship_checkpoint(client._channel, blob, restore=False)
                 assert client.status()["batches_seen"] == 0  # not adopted yet
                 request(client._channel, ("restore_key", CHECKPOINT_KEY))
+                assert client.status()["batches_seen"] == (
+                    source.metrics()["batches_seen"]
+                )
+                client.shutdown()
+        finally:
+            server.close()
+
+    def test_push_checkpoint_threads_key_through(self):
+        """Regression (ISSUE 9): push_checkpoint dropped the ``key=``
+        parameter ship_checkpoint supports, so blue/green checkpoint
+        slots could not be addressed through the typed client."""
+        matrix = _serving_matrix(seed=10)
+        source = _engine(matrix)
+        for batch in _batches(matrix)[:2]:
+            source.ingest(batch)
+        source.step()
+        server = _daemon(matrix, auto_step=False)
+        try:
+            with ServeClient(server.address, timeout=30) as client:
+                blob = dumps(source.snapshot_payload())
+                client.push_checkpoint(blob, key="ckpt-blue")
+                # assembled under the custom key, and adopted
+                assert server.registry.get("ckpt-blue") is not None
+                assert client.status()["batches_seen"] == (
+                    source.metrics()["batches_seen"]
+                )
+                client.shutdown()
+        finally:
+            server.close()
+
+    def test_stale_restore_key_is_reshipped(self):
+        """The ``restore_key`` → ``("stale", key)`` reply path: when the
+        assembled payload is LRU-evicted between assemble and restore,
+        ship_checkpoint must re-assemble and retry instead of surfacing
+        StaleBroadcast to the caller."""
+        matrix = _serving_matrix(seed=11)
+        source = _engine(matrix)
+        for batch in _batches(matrix)[:2]:
+            source.ingest(batch)
+        source.step()
+        server = _daemon(matrix, auto_step=False)
+        try:
+            real_get = server.registry.get
+            evicted = {"done": False}
+
+            def flaky_get(key):
+                if key == CHECKPOINT_KEY and not evicted["done"]:
+                    evicted["done"] = True
+                    raise KeyError(key)  # evicted between assemble/restore
+                return real_get(key)
+
+            server.registry.get = flaky_get
+            with ServeClient(server.address, timeout=30) as client:
+                report = client.push_checkpoint(dumps(source.snapshot_payload()))
+                assert evicted["done"]  # the stale path actually fired
+                assert report.n_shipped == report.n_chunks
                 assert client.status()["batches_seen"] == (
                     source.metrics()["batches_seen"]
                 )
@@ -474,3 +576,4 @@ class TestServeCLI:
         assert args.step_answers == 100
         assert args.dtype == "float64"
         assert not args.no_auto_step
+        assert not args.read_only
