@@ -1,12 +1,17 @@
 """Repo-invariant static analysis for the :mod:`repro` package.
 
-Six AST-level rules encode the invariants the test suite cannot
-exhaustively check (DESIGN.md §7): replay determinism (R1), lock
-discipline in the threaded daemon code (R2), client/server wire-protocol
-agreement (R3), the ``repro.errors`` taxonomy (R4), explicit dtypes in
-the numeric core (R5), and checkpoint-schema sync (R6).  Run with
-``python -m repro.analysis``; suppressions live in the checked-in
-``BASELINE.json`` next to this package.
+Ten AST-level rules encode the invariants the test suite cannot
+exhaustively check (DESIGN.md §7).  Per-module (first generation):
+replay determinism (R1), lock discipline in the threaded daemon code
+(R2), client/server wire-protocol agreement (R3), the ``repro.errors``
+taxonomy (R4), explicit dtypes in the numeric core (R5), and
+checkpoint-schema sync (R6).  Interprocedural (second generation, fed by
+the shared :mod:`project graph <repro.analysis.graph>`): lock-order
+cycles and blocking-under-lock (R7), config-plumbing completeness (R8),
+resource lifecycle (R9), and reply-shape conformance (R10).  Run with
+``python -m repro.analysis`` (or ``python -m repro analysis``);
+suppressions live in the checked-in ``BASELINE.json`` next to this
+package.
 """
 
 from repro.analysis.base import (
@@ -25,9 +30,14 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.checkpoint_sync import CheckpointSyncRule
 from repro.analysis.cli import ALL_RULES, main, select_rules
+from repro.analysis.config_plumbing import ConfigPlumbingRule
 from repro.analysis.determinism import DeterminismRule
 from repro.analysis.dtypes import DtypeHygieneRule
+from repro.analysis.graph import GraphRule, ProjectGraph, build_graph
+from repro.analysis.lifecycle import ResourceLifecycleRule
+from repro.analysis.lockorder import LockOrderRule
 from repro.analysis.locks import LockDisciplineRule
+from repro.analysis.replies import ReplyShapeRule
 from repro.analysis.taxonomy import ErrorTaxonomyRule
 from repro.analysis.wire import WireProtocolRule
 
@@ -35,15 +45,22 @@ __all__ = [
     "ALL_RULES",
     "Baseline",
     "CheckpointSyncRule",
+    "ConfigPlumbingRule",
     "DEFAULT_BASELINE",
     "DeterminismRule",
     "DtypeHygieneRule",
     "ErrorTaxonomyRule",
     "Finding",
+    "GraphRule",
     "LockDisciplineRule",
+    "LockOrderRule",
     "Module",
+    "ProjectGraph",
+    "ReplyShapeRule",
+    "ResourceLifecycleRule",
     "Rule",
     "WireProtocolRule",
+    "build_graph",
     "collect_modules",
     "load_baseline",
     "load_module",

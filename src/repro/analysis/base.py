@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import ast
 import os
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -165,12 +167,43 @@ def collect_modules(paths: Sequence[str]) -> List[Module]:
 
 
 def run_rules(
-    modules: Sequence[Module], rules: Sequence[Rule]
+    modules: Sequence[Module],
+    rules: Sequence[Rule],
+    *,
+    jobs: int = 1,
+    graph: Optional[object] = None,
+    timings: Optional[Dict[str, float]] = None,
 ) -> List[Finding]:
-    """Run every rule over the module set; findings in (path, line) order."""
+    """Run every rule over the module set; findings in (path, line) order.
+
+    ``graph`` is the shared interprocedural :class:`ProjectGraph` (built
+    once by the runner and handed to every rule exposing ``check_graph``
+    — duck-typed here so this module needs no import of
+    :mod:`repro.analysis.graph`, which imports us).  ``jobs > 1`` runs
+    rules on a thread pool; rules are pure functions of the parsed
+    module set, and the final sort makes output order independent of
+    completion order.  ``timings``, when given, receives per-rule wall
+    seconds keyed by rule id.
+    """
+
+    def _run_one(rule: Rule) -> List[Finding]:
+        start = time.perf_counter()
+        if graph is not None and hasattr(rule, "check_graph"):
+            found = rule.check(modules, graph)  # type: ignore[call-arg]
+        else:
+            found = rule.check(modules)
+        if timings is not None:
+            timings[rule.rule_id] = time.perf_counter() - start
+        return found
+
+    if jobs > 1 and len(rules) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            per_rule = list(pool.map(_run_one, rules))
+    else:
+        per_rule = [_run_one(rule) for rule in rules]
     findings: List[Finding] = []
-    for rule in rules:
-        findings.extend(rule.check(modules))
+    for found in per_rule:
+        findings.extend(found)
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.key))
 
 

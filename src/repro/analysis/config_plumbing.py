@@ -1,0 +1,212 @@
+"""R8 — config plumbing: every config field is read, every flag is used.
+
+The configuration surface has grown a field at a time (dtype, backend,
+shard counts, executor specs, serving knobs), and its two real bugs both
+had the same shape: a value that parses, validates, and then silently
+falls off the path that should consume it (PR 7's ``use_item_evidence``
+ignored by ``label_probabilities``; the seed's CLI accepting flags it
+never forwarded).  No test enumerates the plumbing, so this rule does:
+
+* **dead config fields** — for every frozen ``@dataclass`` whose name
+  ends in ``Config``, each annotated field must be *read* somewhere in
+  the project (``config.field`` / ``self.field`` attribute loads).
+  Reads inside ``__post_init__`` do not count — validation is not
+  consumption; reads in ``resolve_*`` helpers and everywhere else do.
+* **dropped CLI flags** — in any module that builds an
+  ``argparse`` parser, every ``add_argument("--flag")`` destination must
+  be read back (``args.flag``) in that same module.  A flag the parser
+  accepts but the program ignores is a config field lost on the CLI
+  path.  Modules that consume the namespace dynamically
+  (``vars(args)`` / ``getattr(args, ...)``) are skipped — the rule
+  cannot see those reads.
+
+Field reads are matched by attribute *name* project-wide, so a read of
+an identically-named attribute on an unrelated object counts — an
+under-reporting approximation (documented in DESIGN.md §7) that keeps
+the rule free of type inference.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.base import Finding, Module, dotted_name
+from repro.analysis.graph import GraphRule, ProjectGraph
+
+
+class ConfigPlumbingRule(GraphRule):
+    rule_id = "R8"
+    name = "config-plumbing"
+    description = (
+        "every *Config dataclass field is read somewhere outside its "
+        "validation, and every argparse flag's dest is read in its module"
+    )
+
+    def check_graph(
+        self, modules: Sequence[Module], graph: ProjectGraph
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._dead_fields(modules))
+        findings.extend(self._dropped_flags(modules))
+        return findings
+
+    # ------------------------------------------------------- config fields
+
+    def _dead_fields(self, modules: Sequence[Module]) -> List[Finding]:
+        # (module, class node, field -> line) per *Config dataclass
+        configs: List[Tuple[Module, ast.ClassDef, Dict[str, int]]] = []
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and _is_config_dataclass(node):
+                    configs.append((module, node, _dataclass_fields(node)))
+        if not configs:
+            return []
+        reads = self._attribute_reads(modules, configs)
+        findings: List[Finding] = []
+        for module, cls, fields in configs:
+            for field_name in sorted(fields):
+                if field_name in reads:
+                    continue
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=module.rel,
+                        line=fields[field_name],
+                        message=(
+                            f"{cls.name}.{field_name} is defined (and "
+                            "validated) but never read anywhere in the "
+                            "project — the value silently has no effect"
+                        ),
+                        key=f"R8:dead-field:{cls.name}.{field_name}",
+                    )
+                )
+        return findings
+
+    def _attribute_reads(
+        self,
+        modules: Sequence[Module],
+        configs: List[Tuple[Module, ast.ClassDef, Dict[str, int]]],
+    ) -> Set[str]:
+        """Attribute names read (Load context) anywhere, excluding each
+        config class's ``__post_init__`` body and its own field lines."""
+        skip_nodes: Set[int] = set()
+        for _, cls, _fields in configs:
+            for stmt in cls.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name == "__post_init__"
+                ):
+                    for child in ast.walk(stmt):
+                        skip_nodes.add(id(child))
+        reads: Set[str] = set()
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if id(node) in skip_nodes:
+                    continue
+                if isinstance(node, ast.Attribute) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    reads.add(node.attr)
+        return reads
+
+    # ---------------------------------------------------------- CLI flags
+
+    def _dropped_flags(self, modules: Sequence[Module]) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in modules:
+            flags = _argparse_dests(module.tree)
+            if not flags:
+                continue
+            if _reads_namespace_dynamically(module.tree):
+                continue  # vars(args)/getattr(args, ...): reads invisible
+            read_attrs = {
+                node.attr
+                for node in ast.walk(module.tree)
+                if isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+            }
+            for dest in sorted(flags):
+                if dest in read_attrs:
+                    continue
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=module.rel,
+                        line=flags[dest],
+                        message=(
+                            f"CLI flag dest {dest!r} is parsed but never "
+                            "read in this module — the flag is accepted "
+                            "and silently dropped"
+                        ),
+                        key=f"R8:dropped-flag:{module.rel}:{dest}",
+                    )
+                )
+        return findings
+
+
+def _is_config_dataclass(node: ast.ClassDef) -> bool:
+    if not node.name.endswith("Config"):
+        return False
+    for decorator in node.decorator_list:
+        name = dotted_name(
+            decorator.func if isinstance(decorator, ast.Call) else decorator
+        )
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> Dict[str, int]:
+    """Annotated field name -> definition line, from the class body."""
+    fields: Dict[str, int] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if not stmt.target.id.startswith("_"):
+                fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
+def _argparse_dests(tree: ast.Module) -> Dict[str, int]:
+    """dest -> line for every ``add_argument`` option in the module."""
+    dests: Dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+        ):
+            continue
+        dest = None
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "dest"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, str)
+            ):
+                dest = keyword.value.value
+        if dest is None:
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    dest = arg.value.lstrip("-").replace("-", "_")
+                    break
+        if dest is not None:
+            dests[dest] = node.lineno
+    return dests
+
+
+def _reads_namespace_dynamically(tree: ast.Module) -> bool:
+    """``vars(...)`` or ``getattr(...)`` anywhere: namespace reads the
+    rule cannot attribute to a dest."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in ("vars", "getattr"):
+                return True
+    return False

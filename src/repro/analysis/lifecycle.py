@@ -1,0 +1,266 @@
+"""R9 — resource lifecycle: acquired resources are released on all paths.
+
+The serving stack acquires real OS resources — sockets
+(``socket.create_server`` / ``connect``), worker subprocesses, scratch
+directories (``tempfile.mkdtemp``), thread/process pools, daemons and
+channels — and a leak only shows up hours into a soak run as fd
+exhaustion or a zombie worker.  The repo's convention (idempotent
+``close()``, ``try/finally`` around serve loops, ``weakref.finalize``
+for scratch dirs) is easy to forget at a new call site, so this rule
+enforces it statically.
+
+For every *local variable* assigned from a resource factory, one of the
+following must hold inside the function:
+
+* the acquisition is a context manager (``with factory() as x``);
+* some ``finally`` block (or an ``except`` cleanup handler) calls a
+  release method on it (``close``/``kill``/``terminate``/``join``/
+  ``shutdown``/``cancel``/``cleanup``/``release``) or passes it to a
+  cleanup call (``shutil.rmtree(x)``);
+* the value **escapes** — returned/yielded, stored on an object or into
+  a container, passed to another call, or aliased — i.e. ownership
+  moves to someone with a longer lifetime (``self._listener = ...`` is
+  the class's ``close()`` contract, ``weakref.finalize(..., x)`` is the
+  GC's).
+
+A factory call whose result is simply dropped is always a leak (with
+one exception: ``Thread(..., daemon=True)`` — daemon threads are
+reaped by the runtime and the repo uses them by design).  Straight-line
+``x.close()`` without ``try/finally`` does **not** count as a release:
+"on all paths" is the point, and every fixed leak in this repo was an
+early ``raise`` skipping exactly that line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.base import (
+    Finding,
+    Module,
+    Rule,
+    dotted_name,
+    enclosing_symbols,
+    walk_no_nested_defs,
+)
+
+#: dotted-name terminals that acquire an OS-level resource.
+RESOURCE_FACTORIES = {
+    "socket": "socket",
+    "create_server": "socket",
+    "create_connection": "socket",
+    "Popen": "subprocess",
+    "mkdtemp": "tempfile",
+    "mkstemp": "tempfile",
+    "NamedTemporaryFile": "tempfile",
+    "Thread": "thread",
+    "ThreadPoolExecutor": "pool",
+    "ProcessPoolExecutor": "pool",
+    # project factories: a Channel owns a socket, a server owns a
+    # listener + threads, an executor owns lanes/pools, clients own
+    # channels.
+    "connect": "channel",
+    "Channel": "channel",
+    "make_executor": "executor",
+    "WorkerServer": "server",
+    "ConsensusServer": "server",
+    "ServeClient": "client",
+    "FleetManager": "fleet",
+    "FleetClient": "client",
+}
+
+#: method calls that release the receiver.
+RELEASE_METHODS = {
+    "close",
+    "kill",
+    "terminate",
+    "join",
+    "shutdown",
+    "cancel",
+    "cleanup",
+    "release",
+}
+
+
+class ResourceLifecycleRule(Rule):
+    rule_id = "R9"
+    name = "resource-lifecycle"
+    description = (
+        "sockets/threads/executors/tempdirs acquired in a function are "
+        "released on all paths (with/try-finally) or escape to an owner"
+    )
+
+    def check(self, modules: Sequence[Module]) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in modules:
+            symbols = enclosing_symbols(module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    findings.extend(
+                        self._check_function(module, node, symbols)
+                    )
+        return findings
+
+    def _check_function(
+        self,
+        module: Module,
+        func: ast.AST,
+        symbols: Dict[int, str],
+    ) -> List[Finding]:
+        symbol = symbols[id(func)]  # already includes the def's own name
+        acquisitions: Dict[str, ast.Call] = {}  # local name -> factory call
+        dropped: List[ast.Call] = []
+        for node in walk_no_nested_defs(func):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                kind = _factory_kind(node.value)
+                if kind is None:
+                    continue
+                if _is_daemon_thread(node.value, kind):
+                    continue
+                if len(node.targets) == 1 and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    acquisitions[node.targets[0].id] = node.value
+                # attribute/subscript targets transfer ownership already
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                kind = _factory_kind(node.value)
+                if kind is not None and not _is_daemon_thread(node.value, kind):
+                    dropped.append(node.value)
+        findings: List[Finding] = []
+        for call in dropped:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.rel,
+                    line=call.lineno,
+                    message=(
+                        f"{symbol} acquires "
+                        f"{dotted_name(call.func) or 'a resource'}() and "
+                        "drops the handle — nothing can ever release it"
+                    ),
+                    key=(
+                        f"R9:dropped:{module.rel}:{symbol}:"
+                        f"{dotted_name(call.func)}"
+                    ),
+                )
+            )
+        for name, call in acquisitions.items():
+            if _escapes(func, name, call) or _released_in_cleanup(func, name):
+                continue
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.rel,
+                    line=call.lineno,
+                    message=(
+                        f"{symbol} acquires {name} = "
+                        f"{dotted_name(call.func) or '...'}() but never "
+                        "releases it in a finally/with and it does not "
+                        "escape — an early exception leaks the resource"
+                    ),
+                    key=f"R9:leak:{module.rel}:{symbol}:{name}",
+                )
+            )
+        return findings
+
+
+def _factory_kind(call: ast.Call) -> Optional[str]:
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    terminal = dotted.split(".")[-1]
+    if terminal not in RESOURCE_FACTORIES:
+        return None
+    # `self.connect(...)` etc. are methods, not the module factories
+    if dotted.startswith("self.") and terminal not in ("connect",):
+        return None
+    return RESOURCE_FACTORIES[terminal]
+
+
+def _is_daemon_thread(call: ast.Call, kind: str) -> bool:
+    if kind != "thread":
+        return False
+    for keyword in call.keywords:
+        if keyword.arg == "daemon":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+def _escapes(func: ast.AST, name: str, acquisition: ast.Call) -> bool:
+    """Ownership leaves the function: returned, stored, passed, aliased."""
+    for node in walk_no_nested_defs(func):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _mentions(node.value, name):
+                return True
+        elif isinstance(node, ast.Call):
+            if node is acquisition:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _mentions(arg, name):
+                    return True
+        elif isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Name) and node.value.id == name:
+                return True  # alias — tracked no further
+            if _mentions_in_container(node.value, name):
+                for target in node.targets:
+                    if not (
+                        isinstance(target, ast.Name) and target.id == name
+                    ):
+                        return True
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    if _mentions(node.value, name):
+                        return True
+    return False
+
+
+def _mentions(node: ast.AST, name: str) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == name:
+            return True
+    return False
+
+
+def _mentions_in_container(node: ast.AST, name: str) -> bool:
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+        return _mentions(node, name)
+    return False
+
+
+def _released_in_cleanup(func: ast.AST, name: str) -> bool:
+    """A finally block or except handler releases ``name``, or the
+    acquisition itself is a ``with`` context."""
+    for node in walk_no_nested_defs(func):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                target = item.optional_vars
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == name
+                ):
+                    return True
+        elif isinstance(node, ast.Try):
+            cleanup_bodies = list(node.finalbody)
+            for handler in node.handlers:
+                cleanup_bodies.extend(handler.body)
+            for stmt in cleanup_bodies:
+                for child in ast.walk(stmt):
+                    if not isinstance(child, ast.Call):
+                        continue
+                    callee = child.func
+                    if (
+                        isinstance(callee, ast.Attribute)
+                        and callee.attr in RELEASE_METHODS
+                        and isinstance(callee.value, ast.Name)
+                        and callee.value.id == name
+                    ):
+                        return True
+                    # shutil.rmtree(x), os.unlink(x), registry.discard(x)
+                    for arg in child.args:
+                        if isinstance(arg, ast.Name) and arg.id == name:
+                            return True
+    return False

@@ -1,0 +1,298 @@
+"""R7 — lock order: deadlock cycles and blocking calls under a lock.
+
+R2 checks that shared attributes are *mutated* under their class's lock;
+this rule checks what the code **does while holding** a lock, across
+module boundaries.  Two failure shapes, both interprocedural:
+
+* **lock-order cycles** — thread A takes ``X._lock`` then (possibly
+  through helper calls) ``Y._lock`` while thread B nests them the other
+  way round: a classic deadlock no test reliably reproduces.  The rule
+  builds the lock-acquisition *order graph* — an edge ``L1 → L2``
+  whenever code acquires ``L2`` (directly or transitively through calls
+  resolved by the :mod:`project graph <repro.analysis.graph>`) while
+  holding ``L1`` — and flags every cycle.
+* **blocking under a state lock** — a ``Channel.recv``, ``socket.*``
+  connect/accept/send, ``subprocess.*`` call/wait, thread ``join`` or
+  ``time.sleep`` executed (again: possibly transitively) while holding a
+  lock that guards shared state.  A daemon thread stuck in ``recv`` with
+  the registry lock held stalls every other connection — the
+  fleet-refresh-under-lock shape this rule was built on.
+
+A lock that guards **no** attribute mutation anywhere in its class is a
+*dedicated serialization mutex* (it exists to make one slow operation
+single-flight); blocking under it is its purpose, so only the cycle
+check applies to it.  ``join`` / ``wait`` are only treated as blocking
+when the receiver looks like a thread/process (``self._thread.join()``
+yes, ``", ".join()`` / ``event.wait()`` no) — the approximations are
+listed in DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import Finding, Module, dotted_name
+from repro.analysis.graph import (
+    GraphRule,
+    ProjectGraph,
+    _walk_no_nested_defs_of,
+)
+
+#: callee terminal names that always block (sockets, channels, pipes).
+BLOCKING_METHODS = {
+    "recv",
+    "recv_into",
+    "recv_or_eof",
+    "accept",
+    "connect",
+    "create_connection",
+    "sendall",
+    "communicate",
+    "select",
+}
+
+#: receiver-name fragments that make ``.join()`` a thread join (not
+#: ``str.join`` / ``os.path.join``) and ``.wait()`` a process wait (not
+#: ``Event.wait``, which carries its own timeout discipline).
+JOIN_RECEIVER_HINTS = ("thread", "proc", "worker", "child", "timer")
+WAIT_RECEIVER_HINTS = ("proc", "popen", "child")
+
+
+def _is_blocking_call(node: ast.Call) -> Optional[str]:
+    """A human-readable description when ``node`` is a blocking call."""
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    terminal = parts[-1]
+    if dotted.startswith("subprocess."):
+        return f"{dotted}(...)"
+    if terminal in BLOCKING_METHODS:
+        return f"{dotted}(...)"
+    if "sleep" in terminal:
+        return f"{dotted}(...)"
+    receiver = ".".join(parts[:-1]).lower()
+    if terminal == "join" and any(h in receiver for h in JOIN_RECEIVER_HINTS):
+        return f"{dotted}(...)"
+    if terminal == "wait" and any(h in receiver for h in WAIT_RECEIVER_HINTS):
+        return f"{dotted}(...)"
+    return None
+
+
+class LockOrderRule(GraphRule):
+    rule_id = "R7"
+    name = "lock-order"
+    description = (
+        "no cycles in the cross-class lock-acquisition order graph, and "
+        "no blocking call (recv/socket/subprocess/join/sleep) while "
+        "holding a state lock — transitively through resolved calls"
+    )
+
+    def check_graph(
+        self, modules: Sequence[Module], graph: ProjectGraph
+    ) -> List[Finding]:
+        by_rel = {module.rel: module for module in modules}
+        blocking = _blocking_functions(graph)
+        acquires = _acquired_locks(graph)
+        findings: List[Finding] = []
+        # edge set of the lock-order graph, with one witness site each
+        edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
+        for qname, sites in graph.lock_sites.items():
+            info = graph.functions[qname]
+            for site in sites:
+                for child in _walk_no_nested_defs_of(site.node):
+                    if not isinstance(child, ast.Call):
+                        continue
+                    # (a) blocking while holding a state lock
+                    if site.lock in graph.state_locks:
+                        reason = _blocking_reason(child, qname, graph, blocking)
+                        if reason is not None:
+                            findings.append(
+                                Finding(
+                                    rule=self.rule_id,
+                                    path=info.rel,
+                                    line=child.lineno,
+                                    message=(
+                                        f"{info.symbol} calls {reason} while "
+                                        f"holding {_lock_label(site.lock)} — a "
+                                        "blocked thread stalls every path "
+                                        "serialized on that lock"
+                                    ),
+                                    key=(
+                                        f"R7:blocking:{info.rel}:{info.symbol}"
+                                        f":{site.lock.split('::')[-1]}"
+                                    ),
+                                )
+                            )
+                    # (b) lock-order edges through this call
+                    callee = _callee_of(child, qname, graph)
+                    if callee is None:
+                        continue
+                    for inner in acquires.get(callee, ()):  # transitive set
+                        if inner != site.lock:
+                            edges.setdefault(
+                                (site.lock, inner),
+                                (info.rel, child.lineno, info.symbol),
+                            )
+                # nested `with self.<other lock>` inside this with
+                for child in _walk_no_nested_defs_of(site.node):
+                    if not isinstance(child, ast.With):
+                        continue
+                    for nested in graph.lock_sites.get(qname, ()):
+                        if nested.node is child and nested.lock != site.lock:
+                            edges.setdefault(
+                                (site.lock, nested.lock),
+                                (info.rel, child.lineno, info.symbol),
+                            )
+        findings.extend(self._cycle_findings(edges, by_rel))
+        # one finding per key: a method blocking twice under the same
+        # lock is one violation site, not two baseline entries
+        unique: Dict[str, Finding] = {}
+        for finding in findings:
+            unique.setdefault(finding.key, finding)
+        return list(unique.values())
+
+    def _cycle_findings(
+        self,
+        edges: Dict[Tuple[str, str], Tuple[str, int, str]],
+        by_rel: Dict[str, Module],
+    ) -> List[Finding]:
+        graph_edges: Dict[str, Set[str]] = {}
+        for src, dst in edges:
+            graph_edges.setdefault(src, set()).add(dst)
+        findings: List[Finding] = []
+        seen_cycles: Set[Tuple[str, ...]] = set()
+        for start in sorted(graph_edges):
+            cycle = _find_cycle(start, graph_edges)
+            if cycle is None:
+                continue
+            canonical = _canonical_cycle(cycle)
+            if canonical in seen_cycles:
+                continue
+            seen_cycles.add(canonical)
+            rel, line, symbol = edges[(cycle[0], cycle[1])]
+            order = " -> ".join(_lock_label(lock) for lock in cycle)
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=rel,
+                    line=line,
+                    message=(
+                        f"lock-order cycle {order} (witness: {symbol}); two "
+                        "threads interleaving these acquisitions deadlock"
+                    ),
+                    key="R7:cycle:" + ":".join(sorted(set(canonical))),
+                )
+            )
+        return findings
+
+
+def _blocking_functions(graph: ProjectGraph) -> Dict[str, str]:
+    """qname -> description, for every function that blocks directly or
+    through resolved calls (fixpoint over the call graph)."""
+    blocking: Dict[str, str] = {}
+    for qname, info in graph.functions.items():
+        for node in _walk_no_nested_defs_of(info.node):
+            if isinstance(node, ast.Call):
+                desc = _is_blocking_call(node)
+                if desc is not None:
+                    blocking[qname] = desc
+                    break
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in graph.calls.items():
+            if caller in blocking:
+                continue
+            for callee in callees:
+                if callee in blocking:
+                    blocking[caller] = (
+                        f"{graph.functions[callee].symbol}(...) "
+                        f"[-> {blocking[callee]}]"
+                    )
+                    changed = True
+                    break
+    return blocking
+
+
+def _acquired_locks(graph: ProjectGraph) -> Dict[str, Set[str]]:
+    """qname -> lock ids the function acquires, directly or transitively."""
+    acquires: Dict[str, Set[str]] = {
+        qname: {site.lock for site in sites}
+        for qname, sites in graph.lock_sites.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in graph.calls.items():
+            merged = acquires.setdefault(caller, set())
+            before = len(merged)
+            for callee in callees:
+                merged |= acquires.get(callee, set())
+            if len(merged) != before:
+                changed = True
+    return acquires
+
+
+def _blocking_reason(
+    call: ast.Call,
+    caller: str,
+    graph: ProjectGraph,
+    blocking: Dict[str, str],
+) -> Optional[str]:
+    direct = _is_blocking_call(call)
+    if direct is not None:
+        return direct
+    callee = _callee_of(call, caller, graph)
+    if callee is not None and callee in blocking:
+        return f"{graph.functions[callee].symbol}(...) [-> {blocking[callee]}]"
+    return None
+
+
+def _callee_of(
+    call: ast.Call, caller: str, graph: ProjectGraph
+) -> Optional[str]:
+    """Resolve one call expression with the caller's import table."""
+    info = graph.functions[caller]
+    return graph._resolve_callee(
+        call.func, info.rel, graph.imports.get(info.rel, {}), info.symbol
+    )
+
+
+def _find_cycle(
+    start: str, edges: Dict[str, Set[str]]
+) -> Optional[List[str]]:
+    """A cycle reachable from ``start`` (DFS), as ``[a, b, ..., a]``."""
+    path: List[str] = []
+    on_path: Set[str] = set()
+    visited: Set[str] = set()
+
+    def dfs(node: str) -> Optional[List[str]]:
+        path.append(node)
+        on_path.add(node)
+        for neighbour in sorted(edges.get(node, ())):
+            if neighbour in on_path:
+                return path[path.index(neighbour) :] + [neighbour]
+            if neighbour not in visited:
+                found = dfs(neighbour)
+                if found is not None:
+                    return found
+        on_path.discard(node)
+        visited.add(node)
+        path.pop()
+        return None
+
+    return dfs(start)
+
+
+def _canonical_cycle(cycle: List[str]) -> Tuple[str, ...]:
+    """Rotation-independent form of a cycle for dedup and stable keys."""
+    body = cycle[:-1]
+    pivot = body.index(min(body))
+    return tuple(body[pivot:] + body[:pivot])
+
+
+def _lock_label(lock_id: str) -> str:
+    """``Class._lock`` from ``rel::Class._lock`` (message brevity)."""
+    return lock_id.split("::", 1)[-1]

@@ -15,6 +15,9 @@ Commands
     signature, so generic flags combine freely with ``all``.
 ``repro stats [--scale 1.0] [--seed 0]``
     Shortcut for the Table-3 statistics experiment.
+``repro analysis [...]``
+    The repo-invariant static-analysis pass; every argument is forwarded
+    verbatim to ``repro.analysis.main`` (see ``repro analysis --help``).
 """
 
 from __future__ import annotations
@@ -129,6 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser = sub.add_parser("stats", help="dataset statistics (Table 3)")
     stats_parser.add_argument("--scale", type=float, default=1.0)
     stats_parser.add_argument("--seed", type=int, default=0)
+
+    analysis_parser = sub.add_parser(
+        "analysis",
+        help="run the static-analysis pass (same as python -m repro.analysis)",
+        add_help=False,  # let --help reach the analysis parser itself
+    )
+    analysis_parser.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded verbatim to repro.analysis",
+    )
     return parser
 
 
@@ -187,8 +201,15 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "analysis":
+        # forwarded before argparse sees the rest: REMAINDER refuses to
+        # capture a leading option (``repro analysis --check``)
+        from repro.analysis import main as analysis_main
+
+        return analysis_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if getattr(args, "workers", None) and getattr(args, "executor", None) not in (
         None,
         "remote",

@@ -207,6 +207,11 @@ class FleetManager:
             _Replica(i, replica_mode, self._reconnects) for i in range(n_replicas)
         ]
         self._lock = threading.Lock()
+        # Serializes the slow lifecycle paths (start/refresh/close) so
+        # they never overlap, without holding ``_lock`` — the state lock
+        # is only ever taken for brief snapshot/commit sections, never
+        # across subprocess spawns, socket I/O, or process waits.
+        self._lifecycle_serial = threading.Lock()
         self._stop = threading.Event()
         self._refresh_thread: Optional[threading.Thread] = None
         self._refresh_count = 0
@@ -218,19 +223,34 @@ class FleetManager:
 
     def start(self) -> "FleetManager":
         """Bind the writer, launch every replica, arm the refresh timer."""
+        with self._lifecycle_serial:
+            return self._start_once()
+
+    def _start_once(self) -> "FleetManager":
+        """The body of :meth:`start`, already serialized.
+
+        The writer bind and every replica launch (subprocess spawn +
+        port-file poll for process replicas) run *outside* ``_lock``;
+        the state lock is only taken to publish results.  A failed
+        launch leaves ``_started`` false with the writer already
+        published, so :meth:`close` can clean up the partial fleet.
+        """
         with self._lock:
             if self._started:
                 return self
-            self._writer_server = ConsensusServer(
-                self.engine,
-                self.host,
-                0,
-                auto_step=self.auto_step,
-                payload_cap=self._payload_cap,
-                chunk_cache_bytes=self._chunk_cache_bytes,
-            ).serve_in_thread()
-            for replica in self._replicas:
-                self._launch_replica(replica)
+        writer = ConsensusServer(
+            self.engine,
+            self.host,
+            0,
+            auto_step=self.auto_step,
+            payload_cap=self._payload_cap,
+            chunk_cache_bytes=self._chunk_cache_bytes,
+        ).serve_in_thread()
+        with self._lock:
+            self._writer_server = writer
+        for replica in self._replicas:
+            self._launch_replica(replica)
+        with self._lock:
             self._started = True
             if self.refresh_interval > 0:
                 self._refresh_thread = threading.Thread(
@@ -324,7 +344,14 @@ class FleetManager:
         replica.address = format_address(replica.host, replica.port)
 
     def close(self) -> None:
-        """Stop the refresh thread, every replica, and the writer."""
+        """Stop the refresh thread, every replica, and the writer.
+
+        The refresh thread is joined *before* taking
+        ``_lifecycle_serial`` (it may be inside a serialized refresh);
+        the teardown itself — process terminate/wait, server and channel
+        closes — then runs under the serial mutex but outside ``_lock``,
+        so status queries keep answering while replicas drain.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -332,28 +359,34 @@ class FleetManager:
         self._stop.set()
         if self._refresh_thread is not None:
             self._refresh_thread.join(timeout=30.0)
+        with self._lifecycle_serial:
+            self._teardown()
+
+    def _teardown(self) -> None:
         with self._lock:
-            for replica in self._replicas:
-                if replica.channel is not None:
-                    replica.channel.close()
-                    replica.channel = None
-                if replica.server is not None:
-                    replica.server.close()
-                if replica.process is not None and replica.process.poll() is None:
-                    replica.process.terminate()
-                    with contextlib.suppress(subprocess.TimeoutExpired):
-                        replica.process.wait(timeout=10.0)
-                    if replica.process.poll() is None:
-                        replica.process.kill()
-                        replica.process.wait(timeout=10.0)
-                if replica.port_dir is not None:
-                    with contextlib.suppress(OSError):
-                        for name in os.listdir(replica.port_dir):
-                            os.unlink(os.path.join(replica.port_dir, name))
-                        os.rmdir(replica.port_dir)
-                    replica.port_dir = None
-            if self._writer_server is not None:
-                self._writer_server.close()
+            replicas = list(self._replicas)
+            writer = self._writer_server
+        for replica in replicas:
+            if replica.channel is not None:
+                replica.channel.close()
+                replica.channel = None
+            if replica.server is not None:
+                replica.server.close()
+            if replica.process is not None and replica.process.poll() is None:
+                replica.process.terminate()
+                with contextlib.suppress(subprocess.TimeoutExpired):
+                    replica.process.wait(timeout=10.0)
+                if replica.process.poll() is None:
+                    replica.process.kill()
+                    replica.process.wait(timeout=10.0)
+            if replica.port_dir is not None:
+                with contextlib.suppress(OSError):
+                    for name in os.listdir(replica.port_dir):
+                        os.unlink(os.path.join(replica.port_dir, name))
+                    os.rmdir(replica.port_dir)
+                replica.port_dir = None
+        if writer is not None:
+            writer.close()
 
     def __enter__(self) -> "FleetManager":
         return self.start()
@@ -409,6 +442,13 @@ class FleetManager:
         snapshot (outgrown process replica), is excluded and recorded in
         ``last_errors``.
         """
+        with self._lifecycle_serial:
+            return self._refresh_once()
+
+    def _refresh_once(self) -> Dict[str, ShipReport]:
+        """One serialized refresh round: snapshot under ``_lock``, ship
+        over the network with no lock held, commit outcomes under
+        ``_lock``."""
         with self._lock:
             if not self._started or self._closed:
                 raise ConfigurationError(
@@ -416,37 +456,50 @@ class FleetManager:
                 )
             payload = self.engine.snapshot_payload()
             blob = dumps(payload)
-            captured = False
-            if self.snapshot_path:
-                tmp_path = self.snapshot_path + ".tmp"
-                with open(tmp_path, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp_path, self.snapshot_path)
-                captured = True
-            reports: Dict[str, ShipReport] = {}
-            for replica in self._replicas:
-                if replica.health.excluded:
-                    continue
-                try:
-                    self._grow_thread_replica(replica)
-                    report = self._ship(replica, blob)
-                except TransportError as exc:
-                    self.last_errors[replica.address] = str(exc)
-                    continue  # _ship exhausted the reconnect budget
-                except ReproError as exc:
-                    # the replica refused the snapshot (e.g. outgrown
-                    # process replica): permanent, take it out of rotation
+            targets = [
+                replica
+                for replica in self._replicas
+                if not replica.health.excluded
+            ]
+        captured = False
+        if self.snapshot_path:
+            tmp_path = self.snapshot_path + ".tmp"
+            with open(tmp_path, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, self.snapshot_path)
+            captured = True
+        # (replica, report, transient error, permanent error) per target
+        outcomes = []
+        for replica in targets:
+            try:
+                self._grow_thread_replica(replica)
+                report = self._ship(replica, blob)
+            except TransportError as exc:
+                # _ship exhausted the reconnect budget: transient
+                outcomes.append((replica, None, exc, None))
+            except ReproError as exc:
+                # the replica refused the snapshot (e.g. outgrown
+                # process replica): permanent, take it out of rotation
+                outcomes.append((replica, None, None, exc))
+            else:
+                outcomes.append((replica, report, None, None))
+        reports: Dict[str, ShipReport] = {}
+        with self._lock:
+            for replica, report, transient, permanent in outcomes:
+                if transient is not None:
+                    self.last_errors[replica.address] = str(transient)
+                elif permanent is not None:
                     replica.health.exclude()
-                    self.last_errors[replica.address] = str(exc)
-                    continue
-                replica.last_report = report
-                replica.health.recover()
-                reports[replica.address] = report
-                captured = True
+                    self.last_errors[replica.address] = str(permanent)
+                else:
+                    replica.last_report = report
+                    replica.health.recover()
+                    reports[replica.address] = report
+                    captured = True
             if captured:
                 self.engine.mark_snapshot()
             self._refresh_count += 1
-            return reports
+        return reports
 
     def _grow_thread_replica(self, replica: _Replica) -> None:
         """Match a thread-mode replica's index spaces to the writer's."""

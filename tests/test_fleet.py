@@ -550,3 +550,102 @@ class TestFleetCLI:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=10)
+
+
+# ---------------------------------------------------- lock-hold discipline
+
+
+@network
+class TestLockHoldDiscipline:
+    """Regression tests for the R7 findings this PR fixed: the slow
+    lifecycle paths (replica launch, snapshot shipping, teardown) must
+    run with the state lock *released* — on the pre-PR code each spy
+    below observes ``_lock`` held and the assertion fails."""
+
+    def test_start_launches_replicas_outside_state_lock(self, monkeypatch):
+        held = []
+        original = FleetManager._launch_replica
+
+        def spy(self, replica):
+            held.append(self._lock.locked())
+            return original(self, replica)
+
+        monkeypatch.setattr(FleetManager, "_launch_replica", spy)
+        manager = _manager(_matrix(), n_replicas=1)
+        try:
+            manager.start()
+        finally:
+            manager.close()
+        assert held == [False]
+
+    def test_refresh_ships_outside_state_lock(self, monkeypatch):
+        held = []
+        original = FleetManager._ship
+
+        def spy(self, replica, blob):
+            held.append(self._lock.locked())
+            return original(self, replica, blob)
+
+        monkeypatch.setattr(FleetManager, "_ship", spy)
+        matrix = _matrix(seed=11)
+        with _manager(matrix, n_replicas=1) as manager:
+            with manager.client() as client:
+                client.ingest(_batches(matrix)[0])
+            manager.refresh_replicas()
+        assert held == [False]
+
+    def test_close_tears_down_outside_state_lock(self):
+        manager = _manager(_matrix(), n_replicas=1).start()
+        held = []
+        replica = manager._replicas[0]
+        original_close = replica.server.close
+
+        def spy():
+            held.append(manager._lock.locked())
+            return original_close()
+
+        replica.server.close = spy
+        manager.close()
+        assert held == [False]
+
+    def test_refresh_and_status_do_not_serialize_on_state_lock(self):
+        """A refresh stalled mid-ship must not block status(): the
+        pre-PR code held ``_lock`` across the ship, so this pattern
+        deadlocked status queries for the full ship duration."""
+        matrix = _matrix(seed=12)
+        with _manager(matrix, n_replicas=1) as manager:
+            with manager.client() as client:
+                client.ingest(_batches(matrix)[0])
+            entered = threading.Event()
+            release = threading.Event()
+            original = FleetManager._ship
+
+            def stalled(self, replica, blob):
+                entered.set()
+                assert release.wait(timeout=30.0)
+                return original(self, replica, blob)
+
+            FleetManager._ship = stalled
+            try:
+                refresher = threading.Thread(
+                    target=manager.refresh_replicas, daemon=True
+                )
+                refresher.start()
+                assert entered.wait(timeout=30.0)
+                # status must answer while the ship is in flight
+                done = threading.Event()
+                result = {}
+
+                def query():
+                    result["status"] = manager.status()
+                    done.set()
+
+                threading.Thread(target=query, daemon=True).start()
+                assert done.wait(timeout=5.0), (
+                    "status() blocked behind an in-flight refresh"
+                )
+                assert "writer" in result["status"]
+            finally:
+                release.set()
+                FleetManager._ship = original
+                refresher.join(timeout=30.0)
